@@ -1,0 +1,150 @@
+(* Tables 1-2, Fig 14 and the §8.1.2 software-capture bound: the
+   capture-host storage study. *)
+
+module Dpdk = Hostmodel.Dpdk_path
+module Kernel = Hostmodel.Kernel_path
+
+let table ~title ~truncation rows =
+  Paper.section title;
+  Paper.row "%-15s %-12s %-6s %-9s %-10s" "Frame Size (B)" "Rate (Gbps)" "Cores"
+    "Loss (%)" "paper loss";
+  List.iter
+    (fun (frame, gbps, cores, paper_loss) ->
+      let config = { Dpdk.default_config with Dpdk.cores; truncation } in
+      let r =
+        Dpdk.run config ~offered_rate:(gbps *. 1e9) ~frame_size:frame
+          ~duration:30.0
+      in
+      Paper.row "%-15d %-12.0f %-6d %-9.2f %-10.2f" frame gbps cores
+        r.Dpdk.loss_percent paper_loss)
+    rows
+
+let table1 () =
+  table ~title:"Table 1: 200B truncation, 60:80 threshold" ~truncation:200
+    [ (1514, 100.0, 5, 0.67); (1024, 100.0, 10, 0.13); (512, 60.0, 15, 0.03);
+      (128, 15.0, 15, 0.10) ]
+
+let table2 () =
+  table ~title:"Table 2: 64B truncation, 60:80 threshold" ~truncation:64
+    [ (1514, 100.0, 3, 0.17); (1024, 100.0, 5, 0.32); (512, 100.0, 15, 0.07);
+      (128, 28.0, 15, 0.13) ]
+
+let tcpdump_bound () =
+  Paper.section "§8.1.2 software-based capture (tcpdump)";
+  (* The traffic source: an iperf3 pair through an 11 Gbps-limited path,
+     as in the paper's setup. *)
+  let iperf =
+    Traffic.Iperf.run
+      { Traffic.Iperf.default with Traffic.Iperf.streams = 4; duration = 10.0 }
+  in
+  Paper.row "iperf3 -P 4 through the 11 Gbps path:";
+  List.iteri
+    (fun i (s : Traffic.Iperf.second_sample) ->
+      if i < 5 then
+        Paper.row "  [%2.0f-%2.0fs]  %6.2f Gbps  %d retransmits"
+          s.Traffic.Iperf.interval_start
+          (s.Traffic.Iperf.interval_start +. 1.0)
+          (s.Traffic.Iperf.goodput /. 1e9)
+          s.Traffic.Iperf.retransmits)
+    iperf.Traffic.Iperf.samples;
+  Paper.row "  sustained %.2f Gbps mean (paper: ~11 Gbps sustained)"
+    (iperf.Traffic.Iperf.mean_goodput /. 1e9);
+  let bound = Kernel.lossless_bound ~frame_size:1500 () in
+  Paper.row "lossless capture bound @1500B frames: %.2f Gbps (paper: ~8.5 Gbps)"
+    (bound /. 1e9);
+  Paper.row "%-12s %10s" "rate (Gbps)" "loss (%)";
+  List.iter
+    (fun gbps ->
+      let r =
+        Kernel.run ~offered_rate:(gbps *. 1e9) ~frame_size:1500 ~duration:10.0 ()
+      in
+      Paper.row "%-12.1f %10.2f%s" gbps r.Kernel.loss_percent
+        (if gbps <= 8.5 && r.Kernel.loss_percent < 0.5 then "   (lossless zone)"
+         else ""))
+    [ 2.0; 4.0; 6.0; 8.0; 8.5; 9.0; 10.0; 11.0 ];
+  Paper.row
+    "paper: tcpdump captured without loss until ~8.5 Gbps; the iperf3 pair sustained 11 Gbps."
+
+(* Fig 14: summed writev latency vs page-cache usage under two threshold
+   settings.  The paper transmits at 100 Gbps with DPDK-pktgen and
+   buckets the bpftrace-measured sys_writev latencies, accounting each
+   at its bucket's upper bound and ignoring the fast common case. *)
+let fig14 () =
+  Paper.section "Fig 14: summed writev latency vs free-cache usage (100 Gbps, 1514B)";
+  let walk (bg, hard) =
+    (* Walk the cache from empty toward the hard limit with
+       incrementally longer captures; stop once usage plateaus (the
+       throttled writer holds the cache at the threshold). *)
+    let config =
+      {
+        Dpdk.default_config with
+        Dpdk.cores = 8;
+        dirty_background_ratio = bg;
+        dirty_ratio = hard;
+      }
+    in
+    let rec go i prev_used acc =
+      if i > 24 then List.rev acc
+      else begin
+        let duration = 8.0 +. (float_of_int i *. 12.0) in
+        let r = Dpdk.run config ~offered_rate:100e9 ~frame_size:1514 ~duration in
+        let used = r.Dpdk.peak_cache_used_percent in
+        let total_ms =
+          Netcore.Histogram.Log2.upper_bound_sum r.Dpdk.writev_latency
+            ~min_exponent:15
+          /. 1e6
+        in
+        let acc = (used, total_ms) :: acc in
+        if used -. prev_used < 0.2 && i > 1 then List.rev acc
+        else go (i + 1) used acc
+      end
+    in
+    go 0 (-1.0) []
+  in
+  (* Summed latency at the first sample reaching (near) a given cache
+     usage — a throttled series plateaus, so later samples only keep
+     accumulating in the same cell. *)
+  let at_usage series target =
+    match List.find_opt (fun (u, _) -> u >= target -. 4.0) series with
+    | Some s -> s
+    | None -> List.nth series (List.length series - 1)
+  in
+  let print_series label series =
+    Paper.row "--- thresholds %s (midpoint at %s%% of free cache) ---" label
+      (match label with "10:20" -> "15" | _ -> "35");
+    Paper.row "%-22s %20s" "cache used (%)" "summed latency (ms)";
+    List.iter
+      (fun (used, total_ms) -> Paper.row "%-22.1f %20.1f" used total_ms)
+      series
+  in
+  let s1020 = walk (10.0, 20.0) in
+  let s2050 = walk (20.0, 50.0) in
+  print_series "10:20" s1020;
+  print_series "20:50" s2050;
+  let u1, l1 = at_usage s1020 21.0 in
+  let u2, l2 = at_usage s2050 21.0 in
+  Paper.row
+    "paper: latency climbs steeply once usage passes the MIDPOINT of the two thresholds (not dirty_ratio itself);";
+  Paper.row
+    "       at 21%% usage the 10:20 setting summed 3283 ms vs 13 ms for 20:50 - two orders of magnitude.";
+  Paper.row
+    "measured: near 21%% usage, 10:20 sums %.0f ms (at %.1f%%, already throttled) vs %.0f ms for 20:50 (at %.1f%%) - %.0fx apart"
+    l1 u1 l2 u2
+    (l1 /. Float.max 1.0 l2)
+
+(* §8.1.3/Appendix B headline: time to hit the page-cache bottleneck at
+   a sustained 100 Gbps with 60:80 thresholds. *)
+let bottleneck_eta () =
+  Paper.section "Appendix B: time to the page-cache bottleneck at 100 Gbps";
+  let p = Hostmodel.Host_profile.default in
+  let ingest = 100e9 /. 8.0 *. 200.0 /. 1538.0 in
+  (* bytes/s staged: 200 of every 1514+24 wire bytes *)
+  let net_fill = ingest -. p.Hostmodel.Host_profile.storage_drain_rate in
+  let cache = Hostmodel.Host_profile.free_cache_bytes p in
+  let midpoint = 0.70 *. cache in
+  Paper.row
+    "staging %.2f GB/s against %.1f GB/s of drain: midpoint (70%% of %.0f GB cache) reached in %.1f s"
+    (ingest /. 1e9)
+    (p.Hostmodel.Host_profile.storage_drain_rate /. 1e9)
+    (cache /. 1e9) (midpoint /. net_fill);
+  Paper.row "paper: 'in about 8-9 seconds we will hit a page cache bottleneck' for its faster NVMe + 8.5 GB/s ingest."

@@ -1,0 +1,19 @@
+(* Random FABRIC-style frames for bench inputs. *)
+
+let random rng =
+  let services = [| "tls"; "iperf3"; "dns"; "ssh"; "mysql"; "nfs" |] in
+  let service =
+    Option.get (Dissect.Services.by_name (Netcore.Rng.choice rng services))
+  in
+  let stack =
+    Traffic.Stack_builder.forward rng
+      {
+        Traffic.Stack_builder.vlan_id = 100 + Netcore.Rng.int rng 3900;
+        mpls_labels = [ 16 + Netcore.Rng.int rng 100_000 ];
+        use_pseudowire = Netcore.Rng.bernoulli rng 0.3;
+        use_vxlan = Netcore.Rng.bernoulli rng 0.05;
+        use_ipv6 = Netcore.Rng.bernoulli rng 0.02;
+        service;
+      }
+  in
+  Packet.Frame.make stack ~payload_len:(Netcore.Rng.int rng 160)

@@ -1,0 +1,93 @@
+(* Bechamel micro-benchmarks of the hot paths: one Test.make per
+   paper table/figure family, measuring the code that regenerates it. *)
+
+open Bechamel
+open Toolkit
+
+let sample_frame =
+  let rng = Netcore.Rng.create 7 in
+  Traffic.Stack_builder.forward rng
+    {
+      Traffic.Stack_builder.vlan_id = 300;
+      mpls_labels = [ 12345; 67890 ];
+      use_pseudowire = true;
+      use_vxlan = false;
+      use_ipv6 = false;
+      service = Option.get (Dissect.Services.by_name "tls");
+    }
+  |> fun stack -> Packet.Frame.make stack ~payload_len:400
+
+let sample_bytes = Packet.Codec.encode sample_frame
+
+let bench_encode =
+  Test.make ~name:"codec.encode (tables 1-2 substrate)" (Staged.stage (fun () ->
+      ignore (Packet.Codec.encode sample_frame)))
+
+let bench_dissect =
+  Test.make ~name:"dissector.dissect (figs 11-12 digest)" (Staged.stage (fun () ->
+      ignore (Dissect.Dissector.dissect sample_bytes)))
+
+let bench_acap =
+  Test.make ~name:"acap.of_frame (fig 13/15 fast path)" (Staged.stage (fun () ->
+      ignore (Dissect.Acap.of_frame ~ts:1.0 sample_frame)))
+
+let bench_page_cache =
+  Test.make ~name:"page_cache step (fig 14, tables 1-2)" (Staged.stage (fun () ->
+      let c =
+        Hostmodel.Page_cache.create ~free_cache_bytes:1e11 ~drain_rate:1e9
+          ~dirty_background_ratio:60.0 ~dirty_ratio:80.0
+      in
+      for _ = 1 to 1000 do
+        Hostmodel.Page_cache.write c 1.6e6;
+        Hostmodel.Page_cache.advance c ~dt:1e-3
+      done))
+
+let bench_materialize =
+  let spec =
+    Traffic.Flow_model.make ~flow_id:1 ~template:sample_frame.Packet.Frame.headers
+      ~frame_size:(Netcore.Dist.Constant 1000.0) ~avg_frame_size:1000.0
+      ~byte_rate:1e6 ~start_time:0.0 ~duration:100.0 ~subflows:64 ()
+  in
+  let rng = Netcore.Rng.create 9 in
+  Test.make ~name:"flow materialization (figs 11-15 captures)"
+    (Staged.stage (fun () ->
+         ignore (Traffic.Flow_model.frames_in_window spec rng ~start_time:0.0 ~end_time:1.0)))
+
+let bench_filter =
+  let filter =
+    match Packet.Filter.parse "tcp and vlan 300 and not port 22" with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  Test.make ~name:"filter.matches (FPGA offload path)" (Staged.stage (fun () ->
+      ignore (Packet.Filter.matches filter sample_frame)))
+
+let bench_anonymize =
+  let anon = Hostmodel.Anonymize.create ~key:11 in
+  Test.make ~name:"anonymize.frame (pre-processing)" (Staged.stage (fun () ->
+      ignore (Hostmodel.Anonymize.frame anon sample_frame)))
+
+let all_tests =
+  [ bench_encode; bench_dissect; bench_acap; bench_page_cache;
+    bench_materialize; bench_filter; bench_anonymize ]
+
+let run () =
+  Paper.section "Bechamel micro-benchmarks";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Paper.row "%-45s %12.1f ns/run" name est
+          | _ -> Paper.row "%-45s (no estimate)" name)
+        ols)
+    all_tests

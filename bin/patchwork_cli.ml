@@ -1,0 +1,370 @@
+(* The patchwork command-line tool.
+
+   Subcommands mirror how the system is used:
+     profile   run a profiling occasion on the simulated federation
+     weekly    run the recurring profiling service; refresh the
+               cumulative profile (CSVs + SVG figures)
+     dissect   dissect a pcap/pcapng file and print abstract captures
+     generate  synthesize a pcap of FABRIC-style traffic
+     analyze   run the offline pipeline over a capture and emit CSVs
+     release   anonymize + truncate a capture for public release
+     capacity  query the capture-path capacity models
+*)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Seed for the deterministic simulation." in
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let hours =
+    let doc = "Simulated duration of the occasion, in hours." in
+    Arg.(value & opt float 2.0 & info [ "hours" ] ~docv:"H" ~doc)
+  in
+  let site =
+    let doc =
+      "Profile only this site (single-experiment style); default profiles \
+       every profilable site (all-experiment mode)."
+    in
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SITE" ~doc)
+  in
+  let csv_dir =
+    let doc = "Directory to write the Process-step CSV files into." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let max_frames =
+    let doc = "Materialization budget per 20s sample." in
+    Arg.(value & opt int 5000 & info [ "max-frames" ] ~docv:"N" ~doc)
+  in
+  let run seed hours site csv_dir max_frames =
+    let start_time = 100.0 *. Netcore.Timebase.day in
+    let engine = Simcore.Engine.create ~start_time () in
+    let fabric = Testbed.Fablib.create ~seed engine in
+    let driver = Traffic.Driver.create fabric ~seed in
+    let mode =
+      match site with
+      | None -> Patchwork.Config.All_experiments
+      | Some s ->
+        Patchwork.Config.Single_experiment
+          [ (s, Testbed.Fablib.all_ports fabric ~site:s) ]
+    in
+    let config =
+      {
+        Patchwork.Config.default with
+        Patchwork.Config.mode;
+        max_frames_per_sample = max_frames;
+        samples_per_run = 4;
+      }
+    in
+    let report =
+      Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~start_time
+        ~duration:(hours *. Netcore.Timebase.hour) ()
+    in
+    List.iter
+      (fun (s : Patchwork.Coordinator.site_report) ->
+        Printf.printf "%-6s %-10s %4d samples\n" s.Patchwork.Coordinator.report_site
+          (match s.Patchwork.Coordinator.outcome with
+          | Patchwork.Coordinator.Site_success -> "success"
+          | Patchwork.Coordinator.Site_degraded -> "degraded"
+          | Patchwork.Coordinator.Site_failed m -> "failed: " ^ m
+          | Patchwork.Coordinator.Site_incomplete m -> "incomplete: " ^ m)
+          (List.length s.Patchwork.Coordinator.site_samples))
+      report.Patchwork.Coordinator.sites;
+    let profile = Analysis.Profile.of_reports [ report ] in
+    Format.printf "%a" Analysis.Profile.pp_summary profile;
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      let files = Analysis.Profile.write_csv_files profile ~dir in
+      Printf.printf "wrote %s under %s\n" (String.concat ", " files) dir
+  in
+  let info =
+    Cmd.info "profile" ~doc:"Run a profiling occasion on the simulated federation"
+  in
+  Cmd.v info Term.(const run $ seed_arg $ hours $ site $ csv_dir $ max_frames)
+
+(* --- dissect --- *)
+
+let dissect_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.pcap")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Records to print.")
+  in
+  let run file limit =
+    let acaps = Analysis.Digest.pcap_file_to_acaps file in
+    Printf.printf "%d packets\n" (List.length acaps);
+    List.iteri
+      (fun i r ->
+        if i < limit then print_endline (Dissect.Acap.to_line r))
+      acaps;
+    let occ = Analysis.Analyze.occurrence acaps in
+    print_endline "occurrence:";
+    List.iter (fun (tok, pct) -> Printf.printf "  %-10s %6.2f%%\n" tok pct) occ
+  in
+  let info = Cmd.info "dissect" ~doc:"Dissect a pcap file into abstract captures" in
+  Cmd.v info Term.(const run $ file $ limit)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap")
+  in
+  let count =
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Frames to generate.")
+  in
+  let service =
+    Arg.(
+      value
+      & opt string "iperf3"
+      & info [ "service" ] ~docv:"NAME" ~doc:"Application service to synthesize.")
+  in
+  let run seed out count service =
+    let rng = Netcore.Rng.create seed in
+    let svc =
+      match Dissect.Services.by_name service with
+      | Some s -> s
+      | None -> failwith ("unknown service " ^ service)
+    in
+    let template =
+      Traffic.Stack_builder.forward rng
+        {
+          Traffic.Stack_builder.vlan_id = 100 + Netcore.Rng.int rng 3900;
+          mpls_labels = [ 16 + Netcore.Rng.int rng 100000 ];
+          use_pseudowire = Netcore.Rng.bernoulli rng 0.3;
+          use_vxlan = false;
+          use_ipv6 = Netcore.Rng.bernoulli rng 0.02;
+          service = svc;
+        }
+    in
+    let spec =
+      Traffic.Flow_model.make ~flow_id:1 ~template
+        ~frame_size:(Netcore.Dist.Empirical [| (0.8, 1948.0); (0.2, 66.0) |])
+        ~avg_frame_size:1572.0
+        ~byte_rate:(float_of_int count *. 1572.0)
+        ~start_time:0.0 ~duration:1.0 ~subflows:8 ()
+    in
+    let frames =
+      Traffic.Flow_model.frames_in_window spec rng ~start_time:0.0 ~end_time:1.0
+    in
+    let w = Packet.Pcap.Writer.create () in
+    List.iter (fun (ts, f) -> Packet.Pcap.Writer.add_frame w ~ts f) frames;
+    Packet.Pcap.Writer.to_file w out;
+    Printf.printf "wrote %d frames to %s\n" (Packet.Pcap.Writer.packet_count w) out
+  in
+  let info = Cmd.info "generate" ~doc:"Synthesize a pcap of FABRIC-style traffic" in
+  Cmd.v info Term.(const run $ seed_arg $ out $ count $ service)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.pcap")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
+  in
+  let run file csv_dir =
+    let acaps = Analysis.Digest.pcap_file_to_acaps file in
+    let occ = Analysis.Analyze.occurrence acaps in
+    let h = Analysis.Analyze.frame_size_histogram acaps in
+    Printf.printf "%d frames, %d distinct flows, %.2f%% IPv6, %.1f%% jumbo\n"
+      (List.length acaps)
+      (Analysis.Analyze.observed_flows acaps)
+      (Analysis.Analyze.ipv6_percent acaps)
+      (100.0 *. Analysis.Analyze.jumbo_fraction acaps);
+    List.iter (fun (tok, pct) -> Printf.printf "  %-10s %6.2f%%\n" tok pct) occ;
+    Array.iteri
+      (fun i c ->
+        if c > 0 then Printf.printf "  %-16s %d\n" (Netcore.Histogram.bin_label h i) c)
+      (Netcore.Histogram.counts h);
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Analysis.Report.write_file
+        (Filename.concat dir "occurrence.csv")
+        (Analysis.Report.csv_of_rows ~header:[ "protocol"; "percent" ]
+           (Analysis.Report.occurrence_rows occ));
+      Analysis.Report.write_file
+        (Filename.concat dir "frame_sizes.csv")
+        (Analysis.Report.csv_of_rows ~header:[ "bin"; "count"; "fraction" ]
+           (Analysis.Report.histogram_rows h));
+      Printf.printf "wrote CSVs under %s\n" dir
+  in
+  let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
+  Cmd.v info Term.(const run $ file $ csv_dir)
+
+(* --- weekly --- *)
+
+let weekly_cmd =
+  let weeks =
+    Arg.(value & opt int 4 & info [ "weeks" ] ~docv:"N" ~doc:"Occasions to run.")
+  in
+  let start_day =
+    Arg.(
+      value & opt int 30
+      & info [ "start-day" ] ~docv:"DAY" ~doc:"Day of year of the first occasion.")
+  in
+  let hours =
+    Arg.(value & opt float 2.0 & info [ "hours" ] ~docv:"H" ~doc:"Hours per occasion.")
+  in
+  let out =
+    Arg.(
+      value & opt string "weekly-profile"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for CSVs and figures.")
+  in
+  let run seed weeks start_day hours out =
+    (* The paper's operational mode: Patchwork runs weekly and keeps a
+       cumulative testbed-wide profile (the public dashboard's data). *)
+    let builder = Analysis.Profile.Builder.create () in
+    for w = 0 to weeks - 1 do
+      let day = start_day + (7 * w) in
+      let start_time = float_of_int day *. Netcore.Timebase.day in
+      let engine = Simcore.Engine.create ~start_time () in
+      let fabric = Testbed.Fablib.create ~seed engine in
+      let driver = Traffic.Driver.create fabric ~seed:(seed + (31 * w)) in
+      let config =
+        {
+          Patchwork.Config.default with
+          Patchwork.Config.samples_per_run = 4;
+          max_frames_per_sample = 3000;
+        }
+      in
+      let report =
+        Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~start_time
+          ~duration:(hours *. Netcore.Timebase.hour) ()
+      in
+      let ok =
+        List.length
+          (List.filter
+             (fun (s : Patchwork.Coordinator.site_report) ->
+               match s.Patchwork.Coordinator.outcome with
+               | Patchwork.Coordinator.Site_success
+               | Patchwork.Coordinator.Site_degraded ->
+                 true
+               | _ -> false)
+             report.Patchwork.Coordinator.sites)
+      in
+      Printf.printf "week of day %3d: %d/%d sites profiled, %d samples\n%!" day ok
+        (List.length report.Patchwork.Coordinator.sites)
+        (List.length (Patchwork.Coordinator.all_samples report));
+      Analysis.Profile.Builder.add_report builder report
+    done;
+    let profile = Analysis.Profile.Builder.finish builder in
+    Format.printf "%a" Analysis.Profile.pp_summary profile;
+    let csvs = Analysis.Profile.write_csv_files profile ~dir:out in
+    let figs = Analysis.Figures.write_profile_figures profile ~dir:out in
+    Printf.printf "wrote %d CSVs and %d figures under %s\n"
+      (List.length csvs) (List.length figs) out
+  in
+  let info =
+    Cmd.info "weekly"
+      ~doc:"Run the weekly profiling service and refresh the cumulative profile"
+  in
+  Cmd.v info Term.(const run $ seed_arg $ weeks $ start_day $ hours $ out)
+
+(* --- release --- *)
+
+let release_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"IN.pcap") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.pcap") in
+  let key =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:"Anonymization key; the same key maps addresses consistently \
+                across releases.")
+  in
+  let snaplen =
+    Arg.(
+      value & opt int 200
+      & info [ "snaplen" ] ~docv:"BYTES" ~doc:"Truncate payloads to this length.")
+  in
+  let run input output key snaplen =
+    (* Prepare a capture for public release: prefix-preserving address
+       anonymization plus payload truncation, as the paper proposes for
+       periodically publishing testbed traces. *)
+    let ic = open_in_bin input in
+    let buf =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let b = Bytes.create len in
+          really_input ic b 0 len;
+          b)
+    in
+    let packets = Packet.Pcapng.read_any buf in
+    let anon = Hostmodel.Anonymize.create ~key in
+    let w = Packet.Pcap.Writer.create ~snaplen () in
+    let rewritten = ref 0 and passed = ref 0 in
+    List.iter
+      (fun (p : Packet.Pcap.packet) ->
+        let d = Dissect.Dissector.dissect ~orig_len:p.Packet.Pcap.orig_len p.Packet.Pcap.data in
+        match Packet.Frame.validate d.Dissect.Dissector.headers with
+        | Ok () when d.Dissect.Dissector.headers <> [] ->
+          (* Re-encode the anonymized headers; payload bytes are dropped
+             beyond the snaplen anyway. *)
+          let frame =
+            Packet.Frame.make d.Dissect.Dissector.headers
+              ~payload_len:d.Dissect.Dissector.payload_len
+          in
+          let frame = Hostmodel.Anonymize.frame anon frame in
+          incr rewritten;
+          Packet.Pcap.Writer.add w ~ts:p.Packet.Pcap.ts
+            ~orig_len:p.Packet.Pcap.orig_len
+            (Packet.Codec.encode frame)
+        | Ok () | Error _ ->
+          (* Frames we cannot re-encode are blanked rather than leaked. *)
+          incr passed;
+          Packet.Pcap.Writer.add w ~ts:p.Packet.Pcap.ts
+            ~orig_len:p.Packet.Pcap.orig_len
+            (Bytes.make (min snaplen (Bytes.length p.Packet.Pcap.data)) '\x00'))
+      packets;
+    Packet.Pcap.Writer.to_file w output;
+    Printf.printf "released %d packets to %s (%d anonymized, %d blanked)\n"
+      (List.length packets) output !rewritten !passed
+  in
+  let info =
+    Cmd.info "release"
+      ~doc:"Anonymize and truncate a capture for public release"
+  in
+  Cmd.v info Term.(const run $ input $ output $ key $ snaplen)
+
+(* --- capacity --- *)
+
+let capacity_cmd =
+  let frame =
+    Arg.(value & opt int 1514 & info [ "frame" ] ~docv:"BYTES")
+  in
+  let run frame =
+    Printf.printf "capture-path capacity for %dB frames:\n" frame;
+    Printf.printf "  tcpdump: %.2f Gbps\n"
+      (Hostmodel.Kernel_path.lossless_bound ~frame_size:frame () /. 1e9);
+    List.iter
+      (fun (cores, trunc) ->
+        let config =
+          { Hostmodel.Dpdk_path.default_config with
+            Hostmodel.Dpdk_path.cores; truncation = trunc }
+        in
+        Printf.printf "  DPDK %2d cores, %3dB truncation: %.2f Gbps\n" cores trunc
+          (Hostmodel.Dpdk_path.capacity_rate config ~frame_size:frame /. 1e9))
+      [ (3, 64); (5, 200); (10, 200); (15, 64) ]
+  in
+  let info = Cmd.info "capacity" ~doc:"Query the capture-path capacity models" in
+  Cmd.v info Term.(const run $ frame)
+
+let () =
+  let doc = "Patchwork: traffic capture and analysis for a federated testbed" in
+  let info = Cmd.info "patchwork" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ profile_cmd; weekly_cmd; dissect_cmd; generate_cmd; analyze_cmd; release_cmd;
+            capacity_cmd ]))

@@ -1,0 +1,53 @@
+(* Mirror-congestion detection.
+
+   Port mirroring clones both the Tx and Rx channels of the mirrored
+   port onto the single Tx channel of the destination port.  When
+   Tx + Rx exceeds the line rate, the switch silently drops mirrored
+   frames and the sample is incomplete.  Patchwork detects this from
+   the switch's telemetry rather than trying to prevent it (R3).
+
+   This example drives a port from idle to overload and shows the
+   detector and the measured drop fraction tracking each other.
+
+   Run with: dune exec examples/congestion_detection.exe *)
+
+module Switch = Testbed.Switch
+
+let () =
+  let engine = Simcore.Engine.create () in
+  let sw = Switch.create engine ~site_name:"DEMO" ~ports:4 ~line_rate:100e9 in
+  let mirror =
+    match Switch.add_mirror sw ~src_port:0 ~dirs:Switch.Both ~dst_port:3 with
+    | Ok id -> id
+    | Error m -> failwith m
+  in
+  Printf.printf "%-22s %-14s %-12s %s\n" "load (Tx+Rx, Gbps)" "mirrored" "drop frac"
+    "sample quality";
+  List.iter
+    (fun gbps ->
+      (* Symmetric load: gbps/2 on each channel. *)
+      let byte_rate = gbps /. 2.0 *. 1e9 /. 8.0 in
+      let frame_rate = byte_rate /. 1514.0 in
+      Switch.detach_flow sw ~flow:1;
+      Switch.detach_flow sw ~flow:2;
+      Switch.attach_flow sw ~port:0 ~dir:Switch.Rx ~byte_rate ~frame_rate ~flow:1;
+      Switch.attach_flow sw ~port:0 ~dir:Switch.Tx ~byte_rate ~frame_rate ~flow:2;
+      let drop = Switch.mirror_drop_fraction sw mirror in
+      let mirrored_gbps = Switch.mirrored_rate sw mirror *. 8.0 /. 1e9 in
+      let congested = mirrored_gbps *. 1e9 > Switch.line_rate sw in
+      Printf.printf "%-22.0f %10.1f G %11.1f%% %s\n" gbps mirrored_gbps
+        (100.0 *. drop)
+        (if congested then "INCOMPLETE (congestion detected)" else "complete")
+    )
+    [ 10.0; 40.0; 80.0; 100.0; 120.0; 150.0; 200.0 ];
+  print_endline "";
+  print_endline
+    "mitigation: mirror only one direction (Rx) so the mirror never exceeds line rate:";
+  Switch.remove_mirror sw mirror;
+  let rx_only =
+    match Switch.add_mirror sw ~src_port:0 ~dirs:Switch.Rx_only ~dst_port:3 with
+    | Ok id -> id
+    | Error m -> failwith m
+  in
+  Printf.printf "Rx-only mirror at 200 Gbps combined load: drop fraction %.1f%%\n"
+    (100.0 *. Switch.mirror_drop_fraction sw rx_only)

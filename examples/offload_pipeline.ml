@@ -1,0 +1,64 @@
+(* FPGA offload as a P4 pipeline.
+
+   Patchwork's capture pre-processing (filter / sample / truncate /
+   anonymize) is compiled onto the Alveo NIC as a P4 match-action
+   program.  This example builds that pipeline from a user-level filter
+   expression, pushes a synthetic mixed-traffic stream through it, and
+   reads back the table counters — exactly the debugging view a P4
+   developer gets from the target.
+
+   Run with: dune exec examples/offload_pipeline.exe *)
+
+module P4 = Hostmodel.P4_pipeline
+
+let () =
+  let filter_expr = "tcp and port 443 and not vlan 999" in
+  let filter =
+    match Packet.Filter.parse filter_expr with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  Printf.printf "compiling %S onto the NIC...\n" filter_expr;
+  let anonymizer = Hostmodel.Anonymize.create ~key:2024 in
+  let pipeline =
+    P4.Compile.of_filter ~truncation:128 ~sample_1_in:4 ~anonymizer filter
+  in
+  Printf.printf "pipeline has %d stages (filter -> sample -> edit)\n\n"
+    (P4.stage_count pipeline);
+  (* A mixed stream: TLS flows we want, other traffic we don't. *)
+  let rng = Netcore.Rng.create 9 in
+  let services = [| "tls"; "tls"; "ssh"; "dns"; "iperf3" |] in
+  let forwarded = ref 0 and bytes = ref 0 in
+  for i = 1 to 4000 do
+    let service =
+      Option.get (Dissect.Services.by_name services.(i mod Array.length services))
+    in
+    let stack =
+      Traffic.Stack_builder.forward rng
+        {
+          Traffic.Stack_builder.vlan_id = (if i mod 17 = 0 then 999 else 100);
+          mpls_labels = [ 48000 ];
+          use_pseudowire = false;
+          use_vxlan = false;
+          use_ipv6 = false;
+          service;
+        }
+    in
+    let frame = Packet.Frame.make stack ~payload_len:(Netcore.Rng.int rng 1400) in
+    let verdict = P4.process pipeline frame in
+    match verdict.P4.frame with
+    | Some _ ->
+      incr forwarded;
+      bytes := !bytes + verdict.P4.forwarded_bytes
+    | None -> ()
+  done;
+  Printf.printf "forwarded %d frames (%d bytes) to the host DPDK writer\n\n"
+    !forwarded !bytes;
+  print_endline "pipeline counters:";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-18s %d\n" name v)
+    (P4.counters pipeline);
+  (* The host sees 1 in 4 of the matching frames, truncated to 128B,
+     with anonymized addresses: *)
+  Printf.printf "\nhost-side relief vs raw mirror: %.1f%% of frames, <=128B each\n"
+    (100.0 *. float_of_int !forwarded /. 4000.0)

@@ -1,0 +1,57 @@
+(* Testbed-wide profiling (all-experiment mode).
+
+   Runs one weekly-style profiling occasion across every profilable
+   site of the federation, then pushes the captures through the full
+   offline pipeline (Digest -> Index -> Analyze -> Process) and emits
+   the CSV files that the paper's graphs are drawn from.
+
+   Run with: dune exec examples/testbed_profile.exe *)
+
+let () =
+  let start_time = 120.0 *. Netcore.Timebase.day in
+  let engine = Simcore.Engine.create ~start_time () in
+  let fabric = Testbed.Fablib.create ~seed:7 engine in
+  let driver = Traffic.Driver.create fabric ~seed:7 in
+  let config =
+    {
+      Patchwork.Config.default with
+      Patchwork.Config.samples_per_run = 4;
+      max_frames_per_sample = 4000;
+    }
+  in
+  print_endline "running an all-experiment profiling occasion (2 simulated hours)...";
+  let report =
+    Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~start_time
+      ~duration:(2.0 *. Netcore.Timebase.hour) ()
+  in
+  (* Site outcomes (the Fig. 10 view of a single occasion). *)
+  List.iter
+    (fun (s : Patchwork.Coordinator.site_report) ->
+      Printf.printf "  %-6s %-10s %3d samples, %d cycles\n"
+        s.Patchwork.Coordinator.report_site
+        (match s.Patchwork.Coordinator.outcome with
+        | Patchwork.Coordinator.Site_success -> "success"
+        | Patchwork.Coordinator.Site_degraded -> "degraded"
+        | Patchwork.Coordinator.Site_failed _ -> "FAILED"
+        | Patchwork.Coordinator.Site_incomplete _ -> "INCOMPLETE")
+        (List.length s.Patchwork.Coordinator.site_samples)
+        s.Patchwork.Coordinator.cycles)
+    report.Patchwork.Coordinator.sites;
+  (* Index the samples as an artifact store, as the gathering phase
+     does before the coordinator pulls everything home. *)
+  let dir = Filename.temp_file "patchwork_store" "" in
+  Sys.remove dir;
+  let index = Analysis.Index.create ~dir in
+  List.iter
+    (fun s -> ignore (Analysis.Index.add_sample index ~occasion:0 s))
+    (Patchwork.Coordinator.all_samples report);
+  Analysis.Index.save index;
+  Printf.printf "acap store: %s (%d files)\n" dir
+    (List.length (Analysis.Index.entries index));
+  (* Analyze. *)
+  let profile = Analysis.Profile.of_reports [ report ] in
+  Format.printf "%a" Analysis.Profile.pp_summary profile;
+  let csv_dir = Filename.concat dir "csv" in
+  let files = Analysis.Profile.write_csv_files profile ~dir:csv_dir in
+  Printf.printf "CSV reports under %s:\n" csv_dir;
+  List.iter (fun f -> Printf.printf "  %s\n" f) files

@@ -1,0 +1,68 @@
+(** Chart construction over {!Svg} — the reproduction's counterpart of
+    the paper's visualization scripts.
+
+    Each chart takes plain data (labels and numbers) and produces a
+    standalone SVG document with axes, ticks and a title.  {!Figures}
+    maps profiles and experiment results onto these charts. *)
+
+type axis = { label : string; log : bool }
+
+val bar_chart :
+  title:string ->
+  x_axis:string ->
+  y_axis:axis ->
+  ?width:float ->
+  ?height:float ->
+  (string * float) list ->
+  Svg.t
+(** Vertical bars, one per labelled value. *)
+
+val grouped_bar_chart :
+  title:string ->
+  x_axis:string ->
+  y_axis:axis ->
+  series:string list ->
+  ?width:float ->
+  ?height:float ->
+  (string * float list) list ->
+  Svg.t
+(** Bars grouped per label, one bar per series, with a legend. *)
+
+val stacked_bar_chart :
+  title:string ->
+  x_axis:string ->
+  y_axis:axis ->
+  series:string list ->
+  ?width:float ->
+  ?height:float ->
+  (string * float list) list ->
+  Svg.t
+(** Stacked bars (Fig. 10's per-day outcome counts). *)
+
+val line_chart :
+  title:string ->
+  x_axis:string ->
+  y_axis:axis ->
+  ?width:float ->
+  ?height:float ->
+  (string * (float * float) list) list ->
+  Svg.t
+(** One polyline per named series, with a legend. *)
+
+val cdf_chart :
+  title:string ->
+  x_axis:string ->
+  ?width:float ->
+  ?height:float ->
+  (float * float) list ->
+  Svg.t
+(** A CDF: y in [0,1] rendered as percentages. *)
+
+val histogram_chart :
+  title:string ->
+  x_axis:string ->
+  ?width:float ->
+  ?height:float ->
+  Netcore.Histogram.t ->
+  Svg.t
+(** Bars over the histogram's bins, labelled with the bin ranges. *)

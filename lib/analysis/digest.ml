@@ -1,0 +1,44 @@
+let pcap_to_acaps buf =
+  (* Accepts both classic pcap and pcapng. *)
+  List.map Dissect.Acap.of_packet (Packet.Pcapng.read_any buf)
+
+let pcap_file_to_acaps path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      pcap_to_acaps buf)
+
+let sample_acaps (sample : Patchwork.Capture.sample) =
+  match sample.Patchwork.Capture.pcap with
+  | Some buf -> pcap_to_acaps buf
+  | None -> sample.Patchwork.Capture.acaps
+
+let write_acap_file path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (Dissect.Acap.to_line r);
+          output_char oc '\n')
+        records)
+
+let read_acap_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+          match Dissect.Acap.of_line line with
+          | Ok r -> go (r :: acc)
+          | Error msg -> failwith (path ^ ": " ^ msg))
+      in
+      go [])

@@ -1,0 +1,23 @@
+(** The Digest step: raw captures to abstract captures.
+
+    Applies the protocol dissectors to every frame of a pcap and keeps
+    only the abstract header stack plus timing/size metadata — the most
+    expensive step of the paper's offline pipeline ("most of this time
+    is taken up by Wireshark's protocol dissectors"). *)
+
+val pcap_to_acaps : bytes -> Dissect.Acap.record list
+(** Dissect every packet of an in-memory capture (classic pcap or
+    pcapng, detected from the magic number). *)
+
+val pcap_file_to_acaps : string -> Dissect.Acap.record list
+
+val sample_acaps : Patchwork.Capture.sample -> Dissect.Acap.record list
+(** The abstract records of a sample: digested from its pcap bytes when
+    it carries them (validating the full pipeline), else the records the
+    capture already abstracted in-line. *)
+
+val write_acap_file : string -> Dissect.Acap.record list -> unit
+(** One record per line ({!Dissect.Acap.to_line}). *)
+
+val read_acap_file : string -> Dissect.Acap.record list
+(** Raises [Failure] on malformed lines. *)

@@ -1,0 +1,14 @@
+(** SVG figure generation from a profile.
+
+    Maps the analysis results onto {!Charts}, producing the graph files
+    the paper's visualization stage draws from the Process-step CSVs.
+    Returns the file names written. *)
+
+val write_profile_figures : Profile.t -> dir:string -> string list
+(** Emits, into [dir]:
+    - [fig11_headers.svg] — distinct headers and deepest stack per site;
+    - [fig12_occurrence.svg] — protocol occurrence;
+    - [fig13_flows.svg] — flows per 20 s sample;
+    - [fig15_sizes.svg] — aggregate frame-size distribution;
+    - [fig15_jumbo_by_site.svg] — per-site jumbo share;
+    - [flow_sizes.svg] — CDF of aggregated flow sizes. *)

@@ -1,0 +1,83 @@
+type summary = {
+  flow_key : string;
+  frames : int;
+  bytes : float;
+  first_seen : float;
+  last_seen : float;
+  rst_seen : bool;
+}
+
+type acc = {
+  mutable a_frames : int;
+  mutable a_bytes : float;
+  mutable a_first : float;
+  mutable a_last : float;
+  mutable a_rst : bool;
+}
+
+let aggregate_weighted groups =
+  let table : (string, acc) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (records, fraction) ->
+      let weight = if fraction > 0.0 then 1.0 /. fraction else 1.0 in
+      List.iter
+        (fun (r : Dissect.Acap.record) ->
+          match Dissect.Acap.flow_key r with
+          | None -> ()
+          | Some key ->
+            let entry =
+              match Hashtbl.find_opt table key with
+              | Some e -> e
+              | None ->
+                let e =
+                  {
+                    a_frames = 0;
+                    a_bytes = 0.0;
+                    a_first = r.Dissect.Acap.ts;
+                    a_last = r.Dissect.Acap.ts;
+                    a_rst = false;
+                  }
+                in
+                Hashtbl.add table key e;
+                e
+            in
+            entry.a_frames <- entry.a_frames + 1;
+            entry.a_bytes <-
+              entry.a_bytes +. (float_of_int r.Dissect.Acap.orig_len *. weight);
+            entry.a_first <- Float.min entry.a_first r.Dissect.Acap.ts;
+            entry.a_last <- Float.max entry.a_last r.Dissect.Acap.ts;
+            entry.a_rst <- entry.a_rst || r.Dissect.Acap.tcp_rst)
+        records)
+    groups;
+  Hashtbl.fold
+    (fun key e acc ->
+      {
+        flow_key = key;
+        frames = e.a_frames;
+        bytes = e.a_bytes;
+        first_seen = e.a_first;
+        last_seen = e.a_last;
+        rst_seen = e.a_rst;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.bytes a.bytes)
+
+let aggregate ?weights records =
+  match weights with
+  | Some groups -> aggregate_weighted groups
+  | None -> aggregate_weighted [ (records, 1.0) ]
+
+let of_samples samples =
+  aggregate_weighted
+    (List.map
+       (fun (s : Patchwork.Capture.sample) ->
+         (s.Patchwork.Capture.acaps, s.Patchwork.Capture.materialized_fraction))
+       samples)
+
+let size_log_histogram summaries =
+  let h = Netcore.Histogram.Log2.create () in
+  List.iter (fun s -> Netcore.Histogram.Log2.add h (Float.max 1.0 s.bytes)) summaries;
+  h
+
+let top_n summaries n = List.filteri (fun i _ -> i < n) summaries

@@ -1,0 +1,34 @@
+(** Cross-sample flow aggregation.
+
+    Flows are classified by virtualization tags plus network- and
+    transport-layer fields; because 20-second samples rarely contain
+    whole flows, the paper pieces flow {e snippets} together across
+    samples and aggregates their packets.  That aggregation found most
+    flows to be tiny while a few reached ~100 GB. *)
+
+type summary = {
+  flow_key : string;
+  frames : int;
+  bytes : float;  (** observed bytes, re-weighted by sampling fraction *)
+  first_seen : float;
+  last_seen : float;
+  rst_seen : bool;
+}
+
+val aggregate :
+  ?weights:(Dissect.Acap.record list * float) list ->
+  Dissect.Acap.record list ->
+  summary list
+(** Group records by flow key.  When [weights] is given, each record
+    list carries the materialized fraction of its sample and observed
+    bytes are scaled by its inverse (a thinned capture under-counts
+    bytes). *)
+
+val of_samples : Patchwork.Capture.sample list -> summary list
+(** Aggregate across samples with per-sample re-weighting. *)
+
+val size_log_histogram : summary list -> Netcore.Histogram.Log2.t
+(** Flow sizes in bytes, log2-binned. *)
+
+val top_n : summary list -> int -> summary list
+(** Largest flows by bytes. *)

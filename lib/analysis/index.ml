@@ -1,0 +1,91 @@
+type entry = {
+  entry_site : string;
+  occasion : int;
+  port : int;
+  start_time : float;
+  record_count : int;
+  path : string;
+}
+
+type t = { dir : string; mutable entries : entry list (* newest first *) }
+
+let index_file t = Filename.concat t.dir "index.tsv"
+
+let create ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg ("Index.create: " ^ dir ^ " is not a directory");
+  { dir; entries = [] }
+
+let add_sample t ~occasion (sample : Patchwork.Capture.sample) =
+  let records = Digest.sample_acaps sample in
+  let site = sample.Patchwork.Capture.sample_site in
+  let port = sample.Patchwork.Capture.sample_port in
+  let start_time = sample.Patchwork.Capture.sample_start in
+  let rel =
+    Printf.sprintf "%s_occ%d_p%d_t%d.acap" site occasion port
+      (int_of_float start_time)
+  in
+  Digest.write_acap_file (Filename.concat t.dir rel) records;
+  let entry =
+    {
+      entry_site = site;
+      occasion;
+      port;
+      start_time;
+      record_count = List.length records;
+      path = rel;
+    }
+  in
+  t.entries <- entry :: t.entries;
+  entry
+
+let entries t = List.rev t.entries
+
+let find ?site ?occasion ?port t =
+  let keep e =
+    (match site with Some s -> e.entry_site = s | None -> true)
+    && (match occasion with Some o -> e.occasion = o | None -> true)
+    && match port with Some p -> e.port = p | None -> true
+  in
+  List.rev (List.filter keep t.entries)
+
+let load t entry = Digest.read_acap_file (Filename.concat t.dir entry.path)
+
+let save t =
+  let oc = open_out (index_file t) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%s\t%d\t%d\t%.6f\t%d\t%s\n" e.entry_site e.occasion
+            e.port e.start_time e.record_count e.path)
+        (entries t))
+
+let open_existing ~dir =
+  let t = { dir; entries = [] } in
+  let ic = open_in (index_file t) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | line -> (
+          match String.split_on_char '\t' line with
+          | [ site; occ; port; start; count; path ] ->
+            go
+              ({
+                 entry_site = site;
+                 occasion = int_of_string occ;
+                 port = int_of_string port;
+                 start_time = float_of_string start;
+                 record_count = int_of_string count;
+                 path;
+               }
+              :: acc)
+          | _ -> failwith ("Index.open_existing: malformed line: " ^ line))
+      in
+      t.entries <- go [];
+      t)

@@ -1,0 +1,38 @@
+(** The Index step.
+
+    A profile can produce dozens of gigabytes of acap data; the index
+    lets later analyses locate the acap files they need without
+    scanning everything.  The store lays acap files out under a root
+    directory and maintains a tab-separated [index.tsv] of what each
+    file covers. *)
+
+type entry = {
+  entry_site : string;
+  occasion : int;
+  port : int;
+  start_time : float;
+  record_count : int;
+  path : string;  (** relative to the store root *)
+}
+
+type t
+
+val create : dir:string -> t
+(** Open (creating if needed) a store rooted at [dir]. *)
+
+val add_sample : t -> occasion:int -> Patchwork.Capture.sample -> entry
+(** Digest a sample's records into a new acap file and index it. *)
+
+val entries : t -> entry list
+
+val find : ?site:string -> ?occasion:int -> ?port:int -> t -> entry list
+(** Entries matching every given criterion. *)
+
+val load : t -> entry -> Dissect.Acap.record list
+
+val save : t -> unit
+(** Write [index.tsv]. *)
+
+val open_existing : dir:string -> t
+(** Load a previously saved index.  Raises [Sys_error] or [Failure] when
+    the directory or index is missing/corrupt. *)

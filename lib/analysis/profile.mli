@@ -1,0 +1,48 @@
+(** A complete network profile, assembled from profiling occasions.
+
+    This is the artifact the whole system exists to produce: the
+    testbed-wide picture of §8.2, with per-site breakdowns and the
+    aggregate statistics the paper reports.
+
+    A profile over many occasions does not fit in memory as raw records
+    (the paper's captures ran to dozens of gigabytes), so {!Builder}
+    folds occasions in one at a time, keeping only aggregates; each
+    occasion's records are dropped as soon as they are absorbed. *)
+
+type t = {
+  occasions : int;
+  total_samples : int;
+  total_frames : int;  (** materialized acap records analyzed *)
+  header_stats : Analyze.site_headers list;
+  occurrence : (string * float) list;
+      (** weighted % of frames containing each token *)
+  size_histogram : Netcore.Histogram.t;
+  per_site_size : (string * Netcore.Histogram.t) list;
+  flows_per_sample : float array;
+  flow_summaries : Flows.summary list;
+  ipv6_percent : float;
+  jumbo_fraction : float;
+}
+
+module Builder : sig
+  type profile := t
+  type t
+
+  val create : unit -> t
+
+  val add_report : t -> Patchwork.Coordinator.occasion_report -> unit
+  (** Digest and absorb one occasion; safe to drop the report (and its
+      samples) afterwards. *)
+
+  val finish : t -> profile
+end
+
+val of_reports : Patchwork.Coordinator.occasion_report list -> t
+(** Convenience wrapper over {!Builder} for small report sets. *)
+
+val write_csv_files : t -> dir:string -> string list
+(** Emit the Process-step CSVs into [dir]; returns the file names
+    written. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable overview (the §8.2 numbers). *)

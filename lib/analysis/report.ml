@@ -1,0 +1,60 @@
+let csv_escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if not needs_quote then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_of_rows ~header rows =
+  let line fields = String.concat "," (List.map csv_escape fields) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let histogram_rows h =
+  let counts = Netcore.Histogram.counts h in
+  let fracs = Netcore.Histogram.fractions h in
+  List.init (Array.length counts) (fun i ->
+      [
+        Netcore.Histogram.bin_label h i;
+        string_of_int counts.(i);
+        Printf.sprintf "%.6f" fracs.(i);
+      ])
+
+let occurrence_rows table =
+  List.map (fun (tok, pct) -> [ tok; Printf.sprintf "%.4f" pct ]) table
+
+let site_header_rows stats =
+  List.map
+    (fun (s : Analyze.site_headers) ->
+      [
+        s.Analyze.hs_site;
+        string_of_int s.Analyze.distinct_headers;
+        string_of_int s.Analyze.deepest_stack;
+        string_of_int s.Analyze.frames;
+      ])
+    stats
+
+let flow_rows summaries =
+  List.map
+    (fun (f : Flows.summary) ->
+      [
+        f.Flows.flow_key;
+        string_of_int f.Flows.frames;
+        Printf.sprintf "%.0f" f.Flows.bytes;
+        Printf.sprintf "%.3f" f.Flows.first_seen;
+        Printf.sprintf "%.3f" f.Flows.last_seen;
+        (if f.Flows.rst_seen then "1" else "0");
+      ])
+    summaries

@@ -1,0 +1,171 @@
+module Fablib = Testbed.Fablib
+module Allocator = Testbed.Allocator
+
+type policy = {
+  check_interval : float;
+  min_instances : int;
+  max_instances : int;
+  nice_free_nics : int;
+}
+
+let default_policy =
+  { check_interval = 600.0; min_instances = 1; max_instances = 4; nice_free_nics = 0 }
+
+type event =
+  | Scaled_up of { at : float; instances : int }
+  | Scaled_down of { at : float; instances : int }
+
+type member = {
+  m_instance : Instance.t;
+  m_slice : Allocator.slice;
+  m_nic_port : int;
+  m_acquired_at : float;
+  mutable m_released_at : float option;
+}
+
+type t = {
+  fabric : Fablib.t;
+  resolver : int -> Traffic.Flow_model.spec option;
+  config : Config.t;
+  log : Logging.t;
+  rng : Netcore.Rng.t;
+  site : string;
+  policy : policy;
+  mutable members : member list;  (* live, newest first *)
+  mutable retired : member list;
+  mutable events : event list;  (* newest first *)
+  mutable next_id : int;
+  mutable until : float;
+}
+
+let create ~fabric ~resolver ~config ~log ~rng ~site ~policy =
+  if policy.min_instances < 1 || policy.max_instances < policy.min_instances then
+    invalid_arg "Autoscaler.create: bad instance bounds";
+  {
+    fabric;
+    resolver;
+    config;
+    log;
+    rng;
+    site;
+    policy;
+    members = [];
+    retired = [];
+    events = [];
+    next_id = 0;
+    until = 0.0;
+  }
+
+let now t = Simcore.Engine.now (Fablib.engine t.fabric)
+
+let log_event t level msg =
+  Logging.log t.log ~time:(now t) ~level ~component:(t.site ^ "/autoscaler") msg
+
+(* NIC ports are handed out from the top of the downlink range, skipping
+   ports already used by live members. *)
+let pick_nic_port t =
+  let downlinks = List.rev (Fablib.downlink_ports t.fabric ~site:t.site) in
+  let used = List.map (fun m -> m.m_nic_port) t.members in
+  List.find_opt (fun p -> not (List.mem p used)) downlinks
+
+let try_acquire_one t =
+  let allocator = Fablib.allocator t.fabric in
+  let request = { Allocator.site = t.site; vms = [ Backoff.instance_vm ] } in
+  if not (Allocator.can_satisfy allocator request) then None
+  else begin
+    match Allocator.create_slice allocator request with
+    | Error _ -> None
+    | Ok slice -> (
+      match pick_nic_port t with
+      | None ->
+        Allocator.delete_slice allocator slice;
+        None
+      | Some nic_port ->
+        let candidates =
+          Fablib.uplink_ports t.fabric ~site:t.site
+          @ List.filter
+              (fun p -> p <> nic_port)
+              (Fablib.downlink_ports t.fabric ~site:t.site)
+        in
+        let inst =
+          Instance.create ~fabric:t.fabric ~resolver:t.resolver ~config:t.config
+            ~log:t.log ~rng:(Netcore.Rng.split t.rng) ~site:t.site
+            ~instance_id:(1000 + t.next_id) ~nic_port ~candidates
+            ~storage_bytes:
+              (float_of_int Backoff.instance_vm.Allocator.storage_gb *. 1e9)
+        in
+        t.next_id <- t.next_id + 1;
+        let member =
+          { m_instance = inst; m_slice = slice; m_nic_port = nic_port;
+            m_acquired_at = now t; m_released_at = None }
+        in
+        t.members <- member :: t.members;
+        Instance.start inst ~until:t.until;
+        Some member)
+  end
+
+let release_one t =
+  match t.members with
+  | [] -> ()
+  | newest :: rest ->
+    (* Release the most recently added member; its samples are kept. *)
+    t.members <- rest;
+    newest.m_released_at <- Some (now t);
+    Allocator.delete_slice (Fablib.allocator t.fabric) newest.m_slice;
+    t.retired <- newest :: t.retired
+
+let live_instances t = List.length t.members
+
+let check t =
+  let allocator = Fablib.allocator t.fabric in
+  let avail = (Allocator.available allocator ~site:t.site).Allocator.avail_dedicated_nics in
+  let live = live_instances t in
+  if avail <= t.policy.nice_free_nics && live > t.policy.min_instances then begin
+    (* The nice factor: the testbed is tight; give a NIC back. *)
+    release_one t;
+    t.events <- Scaled_down { at = now t; instances = live_instances t } :: t.events;
+    log_event t Logging.Info
+      (Printf.sprintf "nice: released an instance (%d free NICs at the site)" avail)
+  end
+  else if avail > t.policy.nice_free_nics + 1 && live < t.policy.max_instances then begin
+    match try_acquire_one t with
+    | Some _ ->
+      t.events <- Scaled_up { at = now t; instances = live_instances t } :: t.events;
+      log_event t Logging.Info
+        (Printf.sprintf "scaled up to %d instances" (live_instances t))
+    | None -> ()
+  end
+
+let start t ~until =
+  t.until <- until;
+  (* Floor acquisition. *)
+  let acquired = ref 0 in
+  while !acquired < t.policy.min_instances do
+    match try_acquire_one t with
+    | Some _ -> incr acquired
+    | None ->
+      log_event t Logging.Warning "could not acquire the instance floor";
+      acquired := t.policy.min_instances (* give up; control loop retries *)
+  done;
+  Simcore.Engine.every (Fablib.engine t.fabric) ~period:t.policy.check_interval
+    ~until (fun _ -> if now t < until then check t)
+
+let instances t =
+  List.map (fun m -> m.m_instance) (t.members @ t.retired)
+
+let events t = List.rev t.events
+
+let samples t = List.concat_map Instance.samples (instances t)
+
+let slice_seconds t =
+  let t_now = now t in
+  List.fold_left
+    (fun acc m ->
+      let until = Option.value ~default:t_now m.m_released_at in
+      acc +. Float.max 0.0 (until -. m.m_acquired_at))
+    0.0 (t.members @ t.retired)
+
+let shutdown t =
+  while t.members <> [] do
+    release_one t
+  done

@@ -1,0 +1,178 @@
+module Switch = Testbed.Switch
+module Fablib = Testbed.Fablib
+module Flow_model = Traffic.Flow_model
+
+type stats = {
+  offered_frames : float;
+  switch_dropped : float;
+  host_dropped : float;
+  captured_frames : float;
+  stored_bytes : float;
+  flow_estimate : float;
+  congestion_detected : bool;
+}
+
+type sample = {
+  sample_site : string;
+  sample_port : int;
+  sample_start : float;
+  sample_duration : float;
+  acaps : Dissect.Acap.record list;
+  materialized_fraction : float;
+  pcap : bytes option;
+  stats : stats;
+}
+
+let method_capacity_pps (config : Config.t) =
+  let p = config.Config.host_profile in
+  match config.Config.capture_method with
+  | Config.Tcpdump -> Hostmodel.Host_profile.kernel_capacity_pps p
+  | Config.Dpdk { cores } ->
+    Hostmodel.Host_profile.dpdk_capacity_pps p ~cores
+      ~truncation:config.Config.truncation
+  | Config.Fpga_dpdk { cores; fpga } ->
+    (* The FPGA samples/filters at line rate; the host only sees the
+       survivors, so its effective capacity scales up by the sampling
+       factor. *)
+    let host =
+      Hostmodel.Host_profile.dpdk_capacity_pps p ~cores
+        ~truncation:(min config.Config.truncation fpga.Hostmodel.Fpga_path.truncation)
+    in
+    host *. float_of_int fpga.Hostmodel.Fpga_path.sample_1_in
+
+(* Expected number of distinct flows visible in a window: each attached
+   spec contributes up to [subflows] distinct 5-tuples; with [f] frames
+   spread uniformly across them, the expected number touched is
+   n * (1 - (1 - 1/n)^f) ~ n * (1 - exp (-f/n)). *)
+let flow_estimate specs ~start_time ~end_time =
+  List.fold_left
+    (fun acc (spec, _dir) ->
+      let f = Flow_model.expected_frames spec ~start_time ~end_time in
+      if f <= 0.0 then acc
+      else begin
+        let n = float_of_int spec.Flow_model.subflows in
+        acc +. (n *. (1.0 -. exp (-.f /. n)))
+      end)
+    0.0 specs
+
+let run ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror ~mirrored_port =
+  let engine = Fablib.engine fabric in
+  let sw = Fablib.switch fabric ~site in
+  let now = Simcore.Engine.now engine in
+  let duration = config.Config.sample_duration in
+  let window_end = now +. duration in
+  (* Traffic state on the mirrored channels. *)
+  let attachments = Switch.mirrored_attachments sw mirror in
+  let specs =
+    List.filter_map
+      (fun (a : Switch.attachment) ->
+        Option.map (fun spec -> (spec, a.Switch.dir)) (resolver a.Switch.flow))
+      attachments
+  in
+  let offered_pps =
+    List.fold_left (fun acc (s, _) -> acc +. Flow_model.frame_rate s) 0.0 specs
+  in
+  let offered_byte_rate =
+    List.fold_left (fun acc (s, _) -> acc +. s.Flow_model.byte_rate) 0.0 specs
+  in
+  let avg_frame_size =
+    if offered_pps > 0.0 then offered_byte_rate /. offered_pps else 800.0
+  in
+  (* Loss at the switch: the mirror clones Tx+Rx onto one Tx channel. *)
+  let switch_drop_frac = Switch.mirror_drop_fraction sw mirror in
+  (* Patchwork's congestion check compares the mirrored channel rates
+     (from telemetry) against the line rate. *)
+  let congestion_detected =
+    Switch.mirrored_rate sw mirror *. 8.0 > Switch.line_rate sw
+  in
+  let after_switch_pps = offered_pps *. (1.0 -. switch_drop_frac) in
+  (* Loss at the host. *)
+  let capacity = method_capacity_pps config in
+  let host_keep =
+    if after_switch_pps <= 0.0 then 1.0 else Float.min 1.0 (capacity /. after_switch_pps)
+  in
+  let captured_pps = after_switch_pps *. host_keep in
+  let offered_frames = offered_pps *. duration in
+  let switch_dropped = offered_frames *. switch_drop_frac in
+  let host_dropped = after_switch_pps *. (1.0 -. host_keep) *. duration in
+  let captured_frames = captured_pps *. duration in
+  let stored_per_frame =
+    Float.min avg_frame_size (float_of_int config.Config.truncation) +. 16.0
+  in
+  let stored_bytes = captured_frames *. stored_per_frame in
+  (* Materialization budget: thin uniformly if the sample is heavy. *)
+  let budget = float_of_int config.Config.max_frames_per_sample in
+  let materialized_fraction =
+    if captured_frames <= budget then host_keep *. (1.0 -. switch_drop_frac)
+    else budget /. offered_frames
+  in
+  let fpga_config =
+    match config.Config.capture_method with
+    | Config.Fpga_dpdk { fpga; _ } -> Some fpga
+    | Config.Tcpdump | Config.Dpdk _ -> None
+  in
+  let fpga_process =
+    Option.map (fun c -> fst (Hostmodel.Fpga_path.create c ())) fpga_config
+  in
+  let anonymizer =
+    if config.Config.anonymize then Some (Hostmodel.Anonymize.create ~key:97) else None
+  in
+  let pcap_writer =
+    if config.Config.emit_pcap then
+      Some (Packet.Pcap.Writer.create ~snaplen:config.Config.truncation ())
+    else None
+  in
+  let acaps = ref [] in
+  List.iter
+    (fun (spec, _dir) ->
+      (* Scale the spec's rate by the materialized fraction so the
+         Poisson draw produces the thinned stream directly. *)
+      let scaled =
+        { spec with Flow_model.byte_rate = spec.Flow_model.byte_rate *. materialized_fraction }
+      in
+      let frames =
+        Flow_model.frames_in_window scaled rng ~start_time:now ~end_time:window_end
+      in
+      List.iter
+        (fun (ts, frame) ->
+          if Packet.Filter.matches config.Config.filter frame then begin
+            let frame =
+              match fpga_process with
+              | Some process -> process frame
+              | None -> Some frame
+            in
+            match frame with
+            | None -> ()
+            | Some frame ->
+              let frame =
+                match anonymizer with
+                | Some anon -> Hostmodel.Anonymize.frame anon frame
+                | None -> frame
+              in
+              (match pcap_writer with
+              | Some w -> Packet.Pcap.Writer.add_frame w ~ts frame
+              | None -> ());
+              acaps := Dissect.Acap.of_frame ~ts frame :: !acaps
+          end)
+        frames)
+    specs;
+  let acaps = List.sort (fun a b -> compare a.Dissect.Acap.ts b.Dissect.Acap.ts) !acaps in
+  {
+    sample_site = site;
+    sample_port = mirrored_port;
+    sample_start = now;
+    sample_duration = duration;
+    acaps;
+    materialized_fraction;
+    pcap = Option.map Packet.Pcap.Writer.contents pcap_writer;
+    stats =
+      {
+        offered_frames;
+        switch_dropped;
+        host_dropped;
+        captured_frames;
+        stored_bytes;
+        flow_estimate = flow_estimate specs ~start_time:now ~end_time:window_end;
+        congestion_detected;
+      };
+  }

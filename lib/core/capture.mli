@@ -1,0 +1,48 @@
+(** One capture sample on a mirrored port.
+
+    A sample covers [sample_duration] seconds of the traffic crossing a
+    mirror session.  The switch may already be dropping mirrored frames
+    (combined Tx+Rx above the egress line rate); the capture host then
+    loses more if the offered rate exceeds its capture method's
+    capacity.  What survives is materialized into abstract capture
+    records (and optionally real pcap bytes), after the configured
+    filter, FPGA pre-processing and anonymization. *)
+
+type stats = {
+  offered_frames : float;  (** frames the mirror tried to clone *)
+  switch_dropped : float;  (** lost at the switch egress queue *)
+  host_dropped : float;  (** lost by the capture path *)
+  captured_frames : float;  (** modeled count that reached storage *)
+  stored_bytes : float;  (** pcap bytes written (with record headers) *)
+  flow_estimate : float;
+      (** expected number of distinct flows observable in this sample,
+          derived from the attached flows and their subflow fan-out *)
+  congestion_detected : bool;
+      (** Patchwork's telemetry-based inference that the mirror is
+          overloaded (requirement R3) *)
+}
+
+type sample = {
+  sample_site : string;
+  sample_port : int;  (** the mirrored port *)
+  sample_start : float;
+  sample_duration : float;
+  acaps : Dissect.Acap.record list;
+      (** materialized records, possibly a uniform thinning *)
+  materialized_fraction : float;
+      (** fraction of captured frames materialized into [acaps] *)
+  pcap : bytes option;  (** real pcap bytes when [emit_pcap] *)
+  stats : stats;
+}
+
+val run :
+  fabric:Testbed.Fablib.t ->
+  resolver:(int -> Traffic.Flow_model.spec option) ->
+  config:Config.t ->
+  rng:Netcore.Rng.t ->
+  site:string ->
+  mirror:int ->
+  mirrored_port:int ->
+  sample
+(** Capture one sample starting now (the engine's current time is the
+    sample start; the traffic state is read at that instant). *)

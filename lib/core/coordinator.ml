@@ -1,0 +1,214 @@
+module Fablib = Testbed.Fablib
+module Info_model = Testbed.Info_model
+module Allocator = Testbed.Allocator
+
+type site_outcome =
+  | Site_success
+  | Site_degraded
+  | Site_failed of string
+  | Site_incomplete of string
+
+type site_report = {
+  report_site : string;
+  outcome : site_outcome;
+  instances_requested : int;
+  instances_acquired : int;
+  site_samples : Capture.sample list;
+  cycles : int;
+  storage_used : float;
+}
+
+type occasion_report = {
+  occasion_start : float;
+  occasion_duration : float;
+  sites : site_report list;
+  log : Logging.t;
+}
+
+let desired_instances_for fabric ~site ~max_instances =
+  let a = Allocator.available (Fablib.allocator fabric) ~site in
+  max 1 (min max_instances a.Allocator.avail_dedicated_nics)
+
+(* Patchwork's own NIC occupies switch ports; it mirrors other ports
+   onto them.  We reserve the highest-numbered downlinks for Patchwork's
+   NICs (one port of the dual-port NIC receives mirrored traffic). *)
+let plan_ports fabric ~site ~instances =
+  let downlinks = Fablib.downlink_ports fabric ~site in
+  let n = List.length downlinks in
+  let nic_ports =
+    List.filteri (fun i _ -> i >= n - instances) downlinks
+  in
+  let uplinks = Fablib.uplink_ports fabric ~site in
+  let candidates =
+    uplinks @ List.filter (fun p -> not (List.mem p nic_ports)) downlinks
+  in
+  (nic_ports, candidates)
+
+type site_run = {
+  sr_site : string;
+  sr_requested : int;
+  sr_acquired : int;
+  sr_degraded : bool;
+  sr_slice : Allocator.slice option;
+  sr_instances : Instance.t list;
+  sr_failure : string option;
+}
+
+let setup_site ~fabric ~driver ~config ~log ~rng ~max_instances ~site
+    ~only_ports =
+  let engine = Fablib.engine fabric in
+  let now = Simcore.Engine.now engine in
+  (* Patchwork asks for its standard complement and lets back-off trim
+     it; a trimmed run is reported as degraded (Fig. 10). *)
+  let desired = max_instances in
+  match
+    Backoff.acquire (Fablib.allocator fabric) ~log ~time:now ~site
+      ~desired_instances:desired ()
+  with
+  | Backoff.No_resources ->
+    {
+      sr_site = site;
+      sr_requested = desired;
+      sr_acquired = 0;
+      sr_degraded = false;
+      sr_slice = None;
+      sr_instances = [];
+      sr_failure = Some "no resources";
+    }
+  | Backoff.Backend_failed msg ->
+    {
+      sr_site = site;
+      sr_requested = desired;
+      sr_acquired = 0;
+      sr_degraded = false;
+      sr_slice = None;
+      sr_instances = [];
+      sr_failure = Some ("backend: " ^ msg);
+    }
+  | Backoff.Acquired { slice; instances; degraded } ->
+    let nic_ports, candidates = plan_ports fabric ~site ~instances in
+    let candidates =
+      match only_ports with
+      | None -> candidates
+      | Some ports -> List.filter (fun p -> List.mem p ports) candidates
+    in
+    let storage_bytes =
+      float_of_int Backoff.instance_vm.Allocator.storage_gb *. 1e9
+    in
+    let insts =
+      List.mapi
+        (fun i nic_port ->
+          Instance.create ~fabric ~resolver:(Traffic.Driver.resolver driver)
+            ~config ~log ~rng:(Netcore.Rng.split rng) ~site ~instance_id:i
+            ~nic_port ~candidates ~storage_bytes)
+        nic_ports
+    in
+    {
+      sr_site = site;
+      sr_requested = desired;
+      sr_acquired = instances;
+      sr_degraded = degraded;
+      sr_slice = Some slice;
+      sr_instances = insts;
+      sr_failure = None;
+    }
+
+let gather_site run =
+  let samples =
+    List.concat_map Instance.samples run.sr_instances
+  in
+  let cycles =
+    List.fold_left (fun acc i -> acc + Instance.cycles_completed i) 0 run.sr_instances
+  in
+  let storage_used =
+    List.fold_left (fun acc i -> acc +. Instance.storage_used i) 0.0 run.sr_instances
+  in
+  let crashed =
+    List.filter_map
+      (fun i ->
+        match Instance.status i with
+        | Instance.Crashed msg -> Some msg
+        | Instance.Running | Instance.Finished -> None)
+      run.sr_instances
+  in
+  let outcome =
+    match (run.sr_failure, crashed) with
+    | Some msg, _ -> Site_failed msg
+    | None, msg :: _ -> Site_incomplete msg
+    | None, [] -> if run.sr_degraded then Site_degraded else Site_success
+  in
+  {
+    report_site = run.sr_site;
+    outcome;
+    instances_requested = run.sr_requested;
+    instances_acquired = run.sr_acquired;
+    site_samples = samples;
+    cycles;
+    storage_used;
+  }
+
+let run_occasion ~fabric ~driver ~config ?(max_instances = 2) ~start_time
+    ~duration () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Coordinator.run_occasion: " ^ msg));
+  let engine = Fablib.engine fabric in
+  if Simcore.Engine.now engine > start_time then
+    invalid_arg "Coordinator.run_occasion: engine already past start_time";
+  let log = Logging.create () in
+  let rng = Netcore.Rng.split (Fablib.rng fabric) in
+  let until = start_time +. duration in
+  (* Phase 0: the substrate — telemetry polling and the traffic the
+     researchers are generating. *)
+  Fablib.start_telemetry ~until fabric;
+  Traffic.Driver.start driver ~until;
+  (* Give telemetry a short warm-up so busiest-port ranking has data:
+     run the engine to the start time plus two polls. *)
+  Simcore.Engine.run ~until:(start_time +. 601.0) engine;
+  (* Phase 1: setup at each target site. *)
+  let targets =
+    match config.Config.mode with
+    | Config.All_experiments ->
+      List.map
+        (fun (s : Info_model.site) -> (s.Info_model.name, None))
+        (Info_model.profilable_sites (Fablib.model fabric))
+    | Config.Single_experiment sites ->
+      List.map (fun (site, ports) -> (site, Some ports)) sites
+  in
+  let runs =
+    List.map
+      (fun (site, only_ports) ->
+        setup_site ~fabric ~driver ~config ~log ~rng ~max_instances ~site
+          ~only_ports)
+      targets
+  in
+  (* Phase 2: sampling. *)
+  List.iter
+    (fun run -> List.iter (fun i -> Instance.start i ~until) run.sr_instances)
+    runs;
+  Simcore.Engine.run ~until engine;
+  (* Phase 3: gathering — collect artifacts, yield resources back. *)
+  let reports = List.map gather_site runs in
+  List.iter
+    (fun run ->
+      match run.sr_slice with
+      | Some slice -> Allocator.delete_slice (Fablib.allocator fabric) slice
+      | None -> ())
+    runs;
+  { occasion_start = start_time; occasion_duration = duration; sites = reports; log }
+
+let all_samples report = List.concat_map (fun r -> r.site_samples) report.sites
+
+let success_rate reports =
+  let total = ref 0 and ok = ref 0 in
+  List.iter
+    (fun report ->
+      List.iter
+        (fun site ->
+          incr total;
+          match site.outcome with
+          | Site_success | Site_degraded -> incr ok
+          | Site_failed _ | Site_incomplete _ -> ())
+        report.sites)
+    reports;
+  if !total = 0 then 0.0 else float_of_int !ok /. float_of_int !total

@@ -1,0 +1,60 @@
+(** The Patchwork coordinator.
+
+    Runs outside the testbed and drives the four-phase workflow of
+    §6.2: {e setup} (decide sites, acquire resources with back-off),
+    {e sampling} (instances cycle ports and capture), {e gathering}
+    (collect captures + logs, release resources), and hands the result
+    to the offline {e analysis} phase (the [Analysis] library). *)
+
+type site_outcome =
+  | Site_success
+  | Site_degraded  (** ran, but with fewer instances after back-off *)
+  | Site_failed of string  (** no resources or back-end errors *)
+  | Site_incomplete of string  (** an instance crashed mid-run *)
+
+type site_report = {
+  report_site : string;
+  outcome : site_outcome;
+  instances_requested : int;
+  instances_acquired : int;
+  site_samples : Capture.sample list;
+  cycles : int;
+  storage_used : float;
+}
+
+type occasion_report = {
+  occasion_start : float;
+  occasion_duration : float;
+  sites : site_report list;
+  log : Logging.t;
+}
+
+val desired_instances_for :
+  Testbed.Fablib.t -> site:string -> max_instances:int -> int
+(** Availability-aware sizing helper: the largest request the site can
+    currently satisfy, bounded by [max_instances].  The coordinator
+    itself always asks for the full [max_instances] and lets back-off
+    trim (so degraded runs are visible); this helper serves users who
+    want to size a request up-front. *)
+
+val run_occasion :
+  fabric:Testbed.Fablib.t ->
+  driver:Traffic.Driver.t ->
+  config:Config.t ->
+  ?max_instances:int ->
+  start_time:float ->
+  duration:float ->
+  unit ->
+  occasion_report
+(** Execute one full profiling occasion on an engine whose current time
+    is [start_time]: starts telemetry and traffic, acquires resources at
+    every target site, runs all instances for [duration] seconds of
+    simulated time, then gathers and releases.
+
+    In [All_experiments] mode the target sites are every profilable site
+    of the federation; in [Single_experiment] mode only the sites (and
+    ports) of the user's slice. *)
+
+val all_samples : occasion_report -> Capture.sample list
+val success_rate : occasion_report list -> float
+(** Fraction of (occasion, site) runs that fully succeeded. *)

@@ -1,0 +1,29 @@
+type level = Debug | Info | Warning | Error
+
+type entry = { time : float; level : level; component : string; event : string }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+
+let log t ~time ~level ~component event =
+  t.entries <- { time; level; component; event } :: t.entries
+
+let entries t = List.rev t.entries
+
+let severity = function Debug -> 0 | Info -> 1 | Warning -> 2 | Error -> 3
+
+let count ?(min_level = Debug) t =
+  List.length (List.filter (fun e -> severity e.level >= severity min_level) t.entries)
+
+let errors t = List.rev (List.filter (fun e -> e.level = Error) t.entries)
+
+let level_name = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warning -> "WARN"
+  | Error -> "ERROR"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.1f] %-5s %s: %s" e.time (level_name e.level) e.component
+    e.event

@@ -1,0 +1,27 @@
+(** Structured run logs.
+
+    Every Patchwork instance logs network- and host-related events so
+    that users can notice problems after the fact (requirement R3); the
+    logs travel with the captures to the coordinator and feed the
+    success/failure analysis of Fig. 10. *)
+
+type level = Debug | Info | Warning | Error
+
+type entry = {
+  time : float;
+  level : level;
+  component : string;  (** e.g. ["STAR/instance-0"] *)
+  event : string;
+}
+
+type t
+
+val create : unit -> t
+val log : t -> time:float -> level:level -> component:string -> string -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : ?min_level:level -> t -> int
+val errors : t -> entry list
+val level_name : level -> string
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,147 @@
+module Switch = Testbed.Switch
+
+type grant = {
+  g_user : string;
+  g_src_port : int;
+  g_dst_port : int;
+  g_mirror : int;
+}
+
+type request = { r_user : string; r_src_port : int; r_dst_port : int }
+
+type t = {
+  engine : Simcore.Engine.t;
+  switch : Switch.t;
+  quantum : float;
+  mutable requests : request list;  (* submission order *)
+  mutable grants : (grant * float) list;  (* grant, granted_at *)
+  service : (string, float) Hashtbl.t;
+  mutable listeners : (granted:grant list -> revoked:grant list -> unit) list;
+}
+
+let create engine switch ~quantum =
+  if quantum <= 0.0 then invalid_arg "Mirror_scheduler.create: quantum";
+  {
+    engine;
+    switch;
+    quantum;
+    requests = [];
+    grants = [];
+    service = Hashtbl.create 8;
+    listeners = [];
+  }
+
+let submit t ~user ~src_port ~dst_port =
+  if
+    List.exists
+      (fun r -> r.r_user = user && r.r_src_port = src_port)
+      t.requests
+  then invalid_arg "Mirror_scheduler.submit: duplicate request";
+  t.requests <- t.requests @ [ { r_user = user; r_src_port = src_port; r_dst_port = dst_port } ];
+  if not (Hashtbl.mem t.service user) then Hashtbl.add t.service user 0.0
+
+let service_time t ~user = Option.value ~default:0.0 (Hashtbl.find_opt t.service user)
+
+let credit t grant ~since =
+  let elapsed = Simcore.Engine.now t.engine -. since in
+  Hashtbl.replace t.service grant.g_user
+    (service_time t ~user:grant.g_user +. elapsed)
+
+let revoke t (grant, since) =
+  credit t grant ~since;
+  Switch.remove_mirror t.switch grant.g_mirror
+
+let cancel t ~user ~src_port =
+  t.requests <-
+    List.filter
+      (fun r -> not (r.r_user = user && r.r_src_port = src_port))
+      t.requests;
+  let revoked, kept =
+    List.partition
+      (fun (g, _) -> g.g_user = user && g.g_src_port = src_port)
+      t.grants
+  in
+  List.iter (revoke t) revoked;
+  t.grants <- kept;
+  if revoked <> [] then
+    List.iter
+      (fun f -> f ~granted:[] ~revoked:(List.map fst revoked))
+      t.listeners
+
+let on_change t f = t.listeners <- f :: t.listeners
+
+let current_grants t = List.map fst t.grants
+
+(* One scheduling round: pick, per requested source port, the pending
+   user with the least service time; rebuild the grant set. *)
+let round t =
+  let old = t.grants in
+  (* Revoke everything first so destination ports free up; service time
+     is credited on revocation. *)
+  List.iter (revoke t) old;
+  t.grants <- [];
+  let by_port = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_port r.r_src_port) in
+      Hashtbl.replace by_port r.r_src_port (r :: l))
+    t.requests;
+  let used_dsts = ref [] in
+  let new_grants = ref [] in
+  let ports = List.sort_uniq compare (List.map (fun r -> r.r_src_port) t.requests) in
+  List.iter
+    (fun port ->
+      let contenders = Option.value ~default:[] (Hashtbl.find_opt by_port port) in
+      (* Least-served first; ties broken by submission order (the list
+         is reversed, so re-sort stably on service). *)
+      let ranked =
+        List.stable_sort
+          (fun a b ->
+            compare (service_time t ~user:a.r_user) (service_time t ~user:b.r_user))
+          (List.rev contenders)
+      in
+      let rec try_grant = function
+        | [] -> ()
+        | r :: rest ->
+          if List.mem r.r_dst_port !used_dsts then try_grant rest
+          else begin
+            match
+              Switch.add_mirror t.switch ~src_port:r.r_src_port ~dirs:Switch.Both
+                ~dst_port:r.r_dst_port
+            with
+            | Ok mirror ->
+              used_dsts := r.r_dst_port :: !used_dsts;
+              new_grants :=
+                ( { g_user = r.r_user; g_src_port = r.r_src_port;
+                    g_dst_port = r.r_dst_port; g_mirror = mirror },
+                  Simcore.Engine.now t.engine )
+                :: !new_grants
+            | Error _ -> try_grant rest
+          end
+      in
+      try_grant ranked)
+    ports;
+  t.grants <- !new_grants;
+  let old_grants = List.map fst old in
+  let fresh = List.map fst !new_grants in
+  let changed =
+    List.exists (fun g -> not (List.mem g old_grants)) fresh
+    || List.exists (fun g -> not (List.mem g fresh)) old_grants
+  in
+  if changed then
+    List.iter (fun f -> f ~granted:fresh ~revoked:old_grants) t.listeners
+
+let start t ~until =
+  round t;
+  Simcore.Engine.every t.engine ~period:t.quantum ~until (fun _ ->
+      if Simcore.Engine.now t.engine <= until then round t)
+
+let fairness t =
+  let times = Hashtbl.fold (fun _ v acc -> v :: acc) t.service [] in
+  match times with
+  | [] | [ _ ] -> 1.0
+  | times ->
+    let n = float_of_int (List.length times) in
+    let sum = List.fold_left ( +. ) 0.0 times in
+    let sum_sq = List.fold_left (fun acc v -> acc +. (v *. v)) 0.0 times in
+    if sum_sq <= 0.0 then 1.0 else sum *. sum /. (n *. sum_sq)

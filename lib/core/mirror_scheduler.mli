@@ -1,0 +1,48 @@
+(** Shared scheduling of mirror ports — the paper's future-work
+    intermediate layer.
+
+    FABRIC lets only one user mirror a given switch port at a time, so
+    Patchwork instances (and other users' captures) can starve each
+    other (§6.3, limitation 1: "Sharing could be achieved by having an
+    intermediate layer that schedules the use of mirrored ports on
+    behalf of more than one FABRIC user").
+
+    This scheduler implements that layer: users submit standing requests
+    for (source port → their NIC port); every quantum the scheduler
+    rotates contended ports to the pending user with the least
+    accumulated service time (max-min fair in the long run), installing
+    and removing the underlying switch mirror sessions itself. *)
+
+type grant = {
+  g_user : string;
+  g_src_port : int;
+  g_dst_port : int;
+  g_mirror : int;  (** the underlying switch session id *)
+}
+
+type t
+
+val create : Simcore.Engine.t -> Testbed.Switch.t -> quantum:float -> t
+
+val submit : t -> user:string -> src_port:int -> dst_port:int -> unit
+(** Standing request; the same user may request several ports.  Raises
+    [Invalid_argument] if this user already requested this port. *)
+
+val cancel : t -> user:string -> src_port:int -> unit
+(** Withdraw a request (any active grant is revoked at once). *)
+
+val on_change : t -> (granted:grant list -> revoked:grant list -> unit) -> unit
+(** Called after every scheduling round that changes assignments; users
+    hook their capture start/stop here. *)
+
+val start : t -> until:float -> unit
+(** Run a scheduling round now and then every quantum. *)
+
+val current_grants : t -> grant list
+
+val service_time : t -> user:string -> float
+(** Total mirror-seconds this user has been granted so far. *)
+
+val fairness : t -> float
+(** Jain's fairness index over all users' service times (1 = perfectly
+    fair); 1.0 when fewer than two users. *)

@@ -1,0 +1,162 @@
+module H = Packet.Headers
+
+type record = {
+  ts : float;
+  orig_len : int;
+  cap_len : int;
+  stack : string list;
+  vlan_ids : int list;
+  mpls_labels : int list;
+  src : string option;
+  dst : string option;
+  l4 : (int * int) option;
+  tcp_rst : bool;
+  truncated : bool;
+}
+
+(* When dissection stopped at a bare TCP/UDP header, classify the
+   payload above it by well-known port, as tshark does; the service
+   token counts as one more "header" in the abstract stack. *)
+let service_token (headers : H.header list) =
+  let rec last acc = function
+    | [] -> acc
+    | h :: rest -> last (Some h) rest
+  in
+  match last None headers with
+  | Some (H.Tcp { src_port; dst_port; _ }) ->
+    Option.map
+      (fun s -> s.Services.service_name)
+      (Services.lookup Services.Tcp ~src_port ~dst_port)
+  | Some (H.Udp { src_port; dst_port }) ->
+    Option.map
+      (fun s -> s.Services.service_name)
+      (Services.lookup Services.Udp ~src_port ~dst_port)
+  | _ -> None
+
+let abstract ~ts ~orig_len ~cap_len ~truncated (headers : H.header list) =
+  let stack = List.map H.name headers in
+  let stack =
+    match service_token headers with
+    | Some token -> stack @ [ token ]
+    | None -> stack
+  in
+  let vlan_ids =
+    List.filter_map (function H.Vlan { vid; _ } -> Some vid | _ -> None) headers
+  in
+  let mpls_labels =
+    List.filter_map (function H.Mpls { label; _ } -> Some label | _ -> None) headers
+  in
+  let src, dst =
+    let render = function
+      | H.Ipv4 { src; dst; _ } ->
+        Some (Netcore.Ipv4_addr.to_string src, Netcore.Ipv4_addr.to_string dst)
+      | H.Ipv6 { src; dst; _ } ->
+        Some (Netcore.Ipv6_addr.to_string src, Netcore.Ipv6_addr.to_string dst)
+      | _ -> None
+    in
+    let rec innermost acc = function
+      | [] -> acc
+      | h :: rest -> innermost (match render h with Some p -> Some p | None -> acc) rest
+    in
+    match innermost None headers with
+    | Some (s, d) -> (Some s, Some d)
+    | None -> (None, None)
+  in
+  let l4 =
+    let rec innermost acc = function
+      | [] -> acc
+      | H.Tcp { src_port; dst_port; _ } :: rest -> innermost (Some (src_port, dst_port)) rest
+      | H.Udp { src_port; dst_port } :: rest -> innermost (Some (src_port, dst_port)) rest
+      | _ :: rest -> innermost acc rest
+    in
+    innermost None headers
+  in
+  let tcp_rst =
+    List.exists (function H.Tcp { flags; _ } -> flags.rst | _ -> false) headers
+  in
+  { ts; orig_len; cap_len; stack; vlan_ids; mpls_labels; src; dst; l4; tcp_rst; truncated }
+
+let of_packet (p : Packet.Pcap.packet) =
+  let d = Dissector.dissect_packet p in
+  abstract ~ts:p.ts ~orig_len:p.orig_len ~cap_len:(Bytes.length p.data)
+    ~truncated:d.truncated d.headers
+
+let of_frame ~ts (frame : Packet.Frame.t) =
+  let len = Packet.Frame.wire_length frame in
+  abstract ~ts ~orig_len:len ~cap_len:len ~truncated:false frame.headers
+
+(* One record per line; fields are tab-separated, list elements
+   comma-separated, missing values are "-". *)
+
+let opt_str = function None -> "-" | Some s -> s
+
+let ints_str = function
+  | [] -> "-"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let to_line r =
+  String.concat "\t"
+    [
+      Printf.sprintf "%.6f" r.ts;
+      string_of_int r.orig_len;
+      string_of_int r.cap_len;
+      String.concat "," r.stack;
+      ints_str r.vlan_ids;
+      ints_str r.mpls_labels;
+      opt_str r.src;
+      opt_str r.dst;
+      (match r.l4 with None -> "-" | Some (s, d) -> Printf.sprintf "%d,%d" s d);
+      (if r.tcp_rst then "R" else "-");
+      (if r.truncated then "T" else "-");
+    ]
+
+let parse_opt = function "-" -> None | s -> Some s
+
+let parse_ints = function
+  | "-" -> []
+  | s -> List.map int_of_string (String.split_on_char ',' s)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ ts; orig_len; cap_len; stack; vlans; mplss; src; dst; l4; rst; trunc ] -> (
+    try
+      Ok
+        {
+          ts = float_of_string ts;
+          orig_len = int_of_string orig_len;
+          cap_len = int_of_string cap_len;
+          stack = (if stack = "" then [] else String.split_on_char ',' stack);
+          vlan_ids = parse_ints vlans;
+          mpls_labels = parse_ints mplss;
+          src = parse_opt src;
+          dst = parse_opt dst;
+          l4 =
+            (match l4 with
+            | "-" -> None
+            | s -> (
+              match String.split_on_char ',' s with
+              | [ a; b ] -> Some (int_of_string a, int_of_string b)
+              | _ -> failwith "bad l4"));
+          tcp_rst = rst = "R";
+          truncated = trunc = "T";
+        }
+    with Failure msg -> Error ("Acap.of_line: " ^ msg))
+  | _ -> Error "Acap.of_line: wrong field count"
+
+let flow_key r =
+  match (r.src, r.dst) with
+  | Some src, Some dst ->
+    let l4_part =
+      match r.l4 with None -> "-" | Some (s, d) -> Printf.sprintf "%d:%d" s d
+    in
+    let proto =
+      if List.mem "tcp" r.stack then "tcp"
+      else if List.mem "udp" r.stack then "udp"
+      else if List.mem "icmp" r.stack then "icmp"
+      else if List.mem "icmpv6" r.stack then "icmpv6"
+      else "other"
+    in
+    Some
+      (String.concat "|"
+         [ ints_str r.vlan_ids; ints_str r.mpls_labels; src; dst; proto; l4_part ])
+  | _ -> None

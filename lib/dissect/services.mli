@@ -1,0 +1,20 @@
+(** Well-known service catalog.
+
+    tshark classifies the payload above TCP/UDP by well-known port and
+    counts it as another header — the paper's Fig. 11 counts those
+    service layers among the "distinct headers" seen per site.  This
+    catalog maps ports to service tokens for the same purpose.  It also
+    serves as the palette from which the traffic generator draws
+    application protocols. *)
+
+type l4 = Tcp | Udp
+
+type service = { service_name : string; port : int; l4 : l4 }
+
+val catalog : service array
+(** All known services, unique per (port, l4). *)
+
+val lookup : l4 -> src_port:int -> dst_port:int -> service option
+(** Service matching either port (destination takes precedence). *)
+
+val by_name : string -> service option

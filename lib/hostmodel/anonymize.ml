@@ -1,0 +1,56 @@
+open Netcore
+
+type t = { key : int64 }
+
+let create ~key = { key = Int64.of_int ((key * 2) + 1) }
+
+(* For each bit position i, the output bit is the input bit XOR a
+   pseudo-random function of (key, the i-bit input prefix).  This is the
+   Crypto-PAn construction with a mixing hash standing in for AES; it is
+   a bijection and preserves common-prefix lengths exactly. *)
+let prf key prefix i =
+  let h = Int64.add (Int64.mul prefix 0x9E3779B97F4A7C15L) key in
+  let h = Int64.add h (Int64.of_int (i * 0x85EBCA6B)) in
+  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
+  let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 32) in
+  Int64.to_int (Int64.logand h 1L)
+
+let permute_bits t value width =
+  let out = ref 0L in
+  let prefix = ref 0L in
+  for i = 0 to width - 1 do
+    let bit = Int64.to_int (Int64.logand (Int64.shift_right_logical value (width - 1 - i)) 1L) in
+    let flip = prf t.key !prefix i in
+    let out_bit = bit lxor flip in
+    out := Int64.logor (Int64.shift_left !out 1) (Int64.of_int out_bit);
+    prefix := Int64.logor (Int64.shift_left !prefix 1) (Int64.of_int bit)
+  done;
+  !out
+
+let ipv4 t addr =
+  let v = Int64.logand (Int64.of_int32 (Ipv4_addr.to_int32 addr)) 0xFFFFFFFFL in
+  Ipv4_addr.of_int32 (Int64.to_int32 (permute_bits t v 32))
+
+let ipv6 t addr =
+  let hi, lo = Ipv6_addr.halves addr in
+  (* Anonymize the routing-relevant high half; keep the interface id
+     hashed flat (prefix relationships beyond /64 are not meaningful). *)
+  let hi' = permute_bits t hi 64 in
+  let lo' = Int64.logxor lo (Int64.mul t.key 0xC2B2AE3D27D4EB4FL) in
+  Ipv6_addr.make hi' lo'
+
+let frame t (f : Packet.Frame.t) =
+  let module H = Packet.Headers in
+  let headers =
+    List.map
+      (fun (h : H.header) : H.header ->
+        match h with
+        | H.Ipv4 ip -> H.Ipv4 { ip with src = ipv4 t ip.src; dst = ipv4 t ip.dst }
+        | H.Ipv6 ip -> H.Ipv6 { ip with src = ipv6 t ip.src; dst = ipv6 t ip.dst }
+        | H.Arp a ->
+          H.Arp { a with sender_ip = ipv4 t a.sender_ip; target_ip = ipv4 t a.target_ip }
+        | h -> h)
+      f.Packet.Frame.headers
+  in
+  { f with Packet.Frame.headers }

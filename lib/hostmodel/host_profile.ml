@@ -1,0 +1,52 @@
+type t = {
+  cores : int;
+  ram_bytes : float;
+  free_cache_fraction : float;
+  storage_drain_rate : float;
+  dpdk_fixed_cost : float;
+  dpdk_byte_cost : float;
+  core_contention : float;
+  kernel_fixed_cost : float;
+  rx_queue_depth : int;
+  tcpdump_buffer_bytes : float;
+  writev_batch : int;
+  writev_base_latency : float;
+  writev_byte_latency : float;
+}
+
+(* Calibrated against the paper's Tables 1-2 (see EXPERIMENTS.md):
+   a core sustains ~3.1 Mpps at 64 B truncation and ~2.1 Mpps at 200 B,
+   with diminishing returns as cores are added; the NVMe sustains about
+   1 GB/s of writeback, which is what makes the page cache the terminal
+   bottleneck at 100 Gbps. *)
+let default =
+  {
+    cores = 16;
+    ram_bytes = 128.0 *. 1073741824.0;
+    free_cache_fraction = 0.78;
+    storage_drain_rate = 1.0e9;
+    dpdk_fixed_cost = 0.245e-6;
+    dpdk_byte_cost = 1.175e-9;
+    core_contention = 0.0714;
+    kernel_fixed_cost = 1.40e-6;
+    rx_queue_depth = 4096;
+    tcpdump_buffer_bytes = 32.0 *. 1048576.0;
+    writev_batch = 128;
+    writev_base_latency = 14.0e-6;
+    writev_byte_latency = 0.1e-9;
+  }
+
+let effective_cores p n =
+  if n <= 0 then invalid_arg "Host_profile.effective_cores: need >= 1 core";
+  float_of_int n /. (1.0 +. (p.core_contention *. float_of_int (n - 1)))
+
+let dpdk_packet_cost p ~truncation =
+  if truncation <= 0 then invalid_arg "Host_profile.dpdk_packet_cost: truncation";
+  p.dpdk_fixed_cost +. (p.dpdk_byte_cost *. float_of_int truncation)
+
+let dpdk_capacity_pps p ~cores ~truncation =
+  effective_cores p cores /. dpdk_packet_cost p ~truncation
+
+let kernel_capacity_pps p = 1.0 /. p.kernel_fixed_cost
+
+let free_cache_bytes p = p.ram_bytes *. p.free_cache_fraction

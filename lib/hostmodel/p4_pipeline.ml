@@ -1,0 +1,225 @@
+module H = Packet.Headers
+
+type field =
+  | F_wire_length
+  | F_stack_depth
+  | F_vlan_id
+  | F_mpls_label
+  | F_ip_version
+  | F_ip_proto
+  | F_src_port
+  | F_dst_port
+  | F_has_token of string
+
+type match_expr =
+  | M_any
+  | M_eq of field * int
+  | M_range of field * int * int
+  | M_not of match_expr
+  | M_and of match_expr * match_expr
+  | M_or of match_expr * match_expr
+
+type action =
+  | A_pass
+  | A_drop
+  | A_accept
+  | A_truncate of int
+  | A_sample of int
+  | A_anonymize of Anonymize.t
+  | A_count of string
+
+type entry = { matches : match_expr; actions : action list }
+
+type table = { table_name : string; entries : entry list; default : action list }
+
+type t = {
+  tables : table list;
+  counters : (string, int) Hashtbl.t;
+  (* Per-(table, entry, action position) sampler state for A_sample:
+     systematic 1-in-N needs a persistent modulo counter per action
+     site, exactly like a P4 register. *)
+  samplers : (string, int) Hashtbl.t;
+}
+
+let create tables =
+  { tables; counters = Hashtbl.create 16; samplers = Hashtbl.create 16 }
+
+let eval_field field (frame : Packet.Frame.t) =
+  match field with
+  | F_wire_length -> Packet.Frame.wire_length frame
+  | F_stack_depth -> Packet.Frame.depth frame
+  | F_vlan_id -> (
+    match Packet.Frame.vlan_ids frame with [] -> -1 | vid :: _ -> vid)
+  | F_mpls_label -> (
+    match Packet.Frame.mpls_labels frame with [] -> -1 | label :: _ -> label)
+  | F_ip_version -> (
+    match Packet.Frame.l3 frame with
+    | Some (H.Ipv4 _) -> 4
+    | Some (H.Ipv6 _) -> 6
+    | Some _ | None -> 0)
+  | F_ip_proto -> (
+    match Packet.Frame.l4 frame with
+    | Some (H.Tcp _) -> 6
+    | Some (H.Udp _) -> 17
+    | Some (H.Icmpv4 _) -> 1
+    | Some (H.Icmpv6 _) -> 58
+    | Some _ | None -> 0)
+  | F_src_port -> (
+    match Packet.Frame.l4 frame with
+    | Some (H.Tcp { src_port; _ }) | Some (H.Udp { src_port; _ }) -> src_port
+    | Some _ | None -> -1)
+  | F_dst_port -> (
+    match Packet.Frame.l4 frame with
+    | Some (H.Tcp { dst_port; _ }) | Some (H.Udp { dst_port; _ }) -> dst_port
+    | Some _ | None -> -1)
+  | F_has_token token -> if List.mem token (Packet.Frame.tokens frame) then 1 else 0
+
+let rec matches expr frame =
+  match expr with
+  | M_any -> true
+  | M_eq (f, v) -> eval_field f frame = v
+  | M_range (f, lo, hi) ->
+    let v = eval_field f frame in
+    v >= lo && v <= hi
+  | M_not e -> not (matches e frame)
+  | M_and (a, b) -> matches a frame && matches b frame
+  | M_or (a, b) -> matches a frame || matches b frame
+
+type verdict = { frame : Packet.Frame.t option; forwarded_bytes : int }
+
+let bump t name =
+  Hashtbl.replace t.counters name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+
+let sampler_hit t key n =
+  let seen = Option.value ~default:0 (Hashtbl.find_opt t.samplers key) in
+  Hashtbl.replace t.samplers key (seen + 1);
+  seen mod n = 0
+
+type outcome = Continue | Stop_drop | Stop_accept
+
+let process t frame0 =
+  let frame = ref frame0 in
+  let truncation = ref max_int in
+  let run_actions table_idx entry_idx actions =
+    let rec go i = function
+      | [] -> Continue
+      | action :: rest -> (
+        match action with
+        | A_pass -> go (i + 1) rest
+        | A_drop -> Stop_drop
+        | A_accept -> Stop_accept
+        | A_truncate n ->
+          truncation := min !truncation n;
+          go (i + 1) rest
+        | A_sample n ->
+          if n <= 0 then invalid_arg "P4_pipeline: sample modulus must be positive";
+          let key = Printf.sprintf "s%d.%d.%d" table_idx entry_idx i in
+          if sampler_hit t key n then go (i + 1) rest else Stop_drop
+        | A_anonymize anon ->
+          frame := Anonymize.frame anon !frame;
+          go (i + 1) rest
+        | A_count name ->
+          bump t name;
+          go (i + 1) rest)
+    in
+    go 0 actions
+  in
+  let rec run_tables table_idx = function
+    | [] -> Continue
+    | table :: rest -> (
+      let rec first_entry entry_idx = function
+        | [] -> run_actions table_idx (-1) table.default
+        | e :: more ->
+          if matches e.matches !frame then run_actions table_idx entry_idx e.actions
+          else first_entry (entry_idx + 1) more
+      in
+      match first_entry 0 table.entries with
+      | Continue -> run_tables (table_idx + 1) rest
+      | (Stop_drop | Stop_accept) as stop -> stop)
+  in
+  match run_tables 0 t.tables with
+  | Stop_drop -> { frame = None; forwarded_bytes = 0 }
+  | Continue | Stop_accept ->
+    let wire = Packet.Frame.wire_length !frame in
+    { frame = Some !frame; forwarded_bytes = min wire !truncation }
+
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let stage_count t = List.length t.tables
+
+module Compile = struct
+  let port_match dir p =
+    match dir with
+    | Packet.Filter.Any -> M_or (M_eq (F_src_port, p), M_eq (F_dst_port, p))
+    | Packet.Filter.Src -> M_eq (F_src_port, p)
+    | Packet.Filter.Dst -> M_eq (F_dst_port, p)
+
+  let rec filter_to_match (f : Packet.Filter.t) =
+    match f with
+    | Packet.Filter.True -> M_any
+    | Packet.Filter.Not e -> M_not (filter_to_match e)
+    | Packet.Filter.And (a, b) -> M_and (filter_to_match a, filter_to_match b)
+    | Packet.Filter.Or (a, b) -> M_or (filter_to_match a, filter_to_match b)
+    | Packet.Filter.Proto "ipv4" -> M_eq (F_ip_version, 4)
+    | Packet.Filter.Proto "ipv6" -> M_eq (F_ip_version, 6)
+    | Packet.Filter.Proto "tcp" -> M_eq (F_ip_proto, 6)
+    | Packet.Filter.Proto "udp" -> M_eq (F_ip_proto, 17)
+    | Packet.Filter.Proto "icmp" -> M_eq (F_ip_proto, 1)
+    | Packet.Filter.Proto token -> M_eq (F_has_token token, 1)
+    | Packet.Filter.Vlan None -> M_not (M_eq (F_vlan_id, -1))
+    | Packet.Filter.Vlan (Some vid) -> M_eq (F_vlan_id, vid)
+    | Packet.Filter.Mpls None -> M_not (M_eq (F_mpls_label, -1))
+    | Packet.Filter.Mpls (Some label) -> M_eq (F_mpls_label, label)
+    | Packet.Filter.Host (_, _) ->
+      (* Addresses are matched on the host side in Patchwork's split:
+         the FPGA tables match on tags and ports; a host-rule falls
+         back to passing the frame through. *)
+      M_any
+    | Packet.Filter.Port (dir, p) -> port_match dir p
+    | Packet.Filter.Less n -> M_range (F_wire_length, 0, n)
+    | Packet.Filter.Greater n -> M_range (F_wire_length, n, max_int)
+
+  let of_filter ?(truncation = 200) ?(sample_1_in = 1) ?anonymizer filter =
+    let filter_table =
+      {
+        table_name = "filter";
+        entries =
+          [
+            {
+              matches = filter_to_match filter;
+              actions = [ A_count "filter.matched"; A_pass ];
+            };
+          ];
+        default = [ A_count "filter.dropped"; A_drop ];
+      }
+    in
+    let sample_table =
+      {
+        table_name = "sample";
+        entries =
+          (if sample_1_in <= 1 then []
+           else
+             [
+               {
+                 matches = M_any;
+                 actions = [ A_sample sample_1_in; A_count "sample.kept" ];
+               };
+             ]);
+        default = [ A_pass ];
+      }
+    in
+    let edit_actions =
+      [ A_truncate truncation ]
+      @ (match anonymizer with Some a -> [ A_anonymize a ] | None -> [])
+      @ [ A_count "edit.emitted" ]
+    in
+    let edit_table =
+      { table_name = "edit"; entries = []; default = edit_actions }
+    in
+    create [ filter_table; sample_table; edit_table ]
+end

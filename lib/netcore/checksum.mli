@@ -1,0 +1,16 @@
+(** The Internet checksum (RFC 1071), used by IPv4, TCP, UDP and
+    ICMP. *)
+
+val ones_complement_sum : ?initial:int -> bytes -> pos:int -> len:int -> int
+(** 16-bit one's-complement sum of a byte range (odd trailing byte is
+    padded with zero, as per the RFC). *)
+
+val finish : int -> int
+(** One's-complement of a running sum, folded to 16 bits. *)
+
+val of_bytes : bytes -> int
+(** Checksum of a whole buffer. *)
+
+val verify : bytes -> bool
+(** [verify b] is [true] when the buffer (with its embedded checksum
+    field) sums to [0xFFFF], i.e. the checksum is valid. *)

@@ -1,0 +1,96 @@
+type t = { edges : float array; counts : int array }
+
+let create edges =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Histogram.create: no edges";
+  for i = 1 to n - 1 do
+    if edges.(i) <= edges.(i - 1) then
+      invalid_arg "Histogram.create: edges must be strictly increasing"
+  done;
+  { edges; counts = Array.make (n + 1) 0 }
+
+(* Index of the bin containing [v]: 0 for v < e0, i for e(i-1) <= v < e(i),
+   n for v >= e(n-1). *)
+let bin_index t v =
+  let n = Array.length t.edges in
+  if v < t.edges.(0) then 0
+  else if v >= t.edges.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* Invariant: edges.(lo) <= v < edges.(hi). *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v < t.edges.(mid) then hi := mid else lo := mid
+    done;
+    !lo + 1
+  end
+
+let add t ?(count = 1) v =
+  let i = bin_index t v in
+  t.counts.(i) <- t.counts.(i) + count
+
+let counts t = Array.copy t.counts
+let total t = Array.fold_left ( + ) 0 t.counts
+let edges t = Array.copy t.edges
+
+let bin_label t i =
+  let n = Array.length t.edges in
+  if i = 0 then Printf.sprintf "(-inf, %g)" t.edges.(0)
+  else if i = n then Printf.sprintf "[%g, +inf)" t.edges.(n - 1)
+  else Printf.sprintf "[%g, %g)" t.edges.(i - 1) t.edges.(i)
+
+let fractions t =
+  let tot = total t in
+  if tot = 0 then Array.make (Array.length t.counts) 0.0
+  else
+    Array.map (fun c -> float_of_int c /. float_of_int tot) t.counts
+
+let merge a b =
+  if a.edges <> b.edges then invalid_arg "Histogram.merge: different edges";
+  {
+    edges = a.edges;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+  }
+
+module Log2 = struct
+  type t = { mutable buckets : int array }
+
+  let create () = { buckets = Array.make 32 0 }
+
+  let ensure t k =
+    if k >= Array.length t.buckets then begin
+      let grown = Array.make (k + 8) 0 in
+      Array.blit t.buckets 0 grown 0 (Array.length t.buckets);
+      t.buckets <- grown
+    end
+
+  let exponent v = if v < 1.0 then 0 else int_of_float (Float.log2 v)
+
+  let add t ?(count = 1) v =
+    if v < 0.0 then invalid_arg "Histogram.Log2.add: negative value";
+    let k = exponent v in
+    ensure t k;
+    t.buckets.(k) <- t.buckets.(k) + count
+
+  let buckets t =
+    let acc = ref [] in
+    Array.iteri (fun k c -> if c > 0 then acc := (k, c) :: !acc) t.buckets;
+    List.rev !acc
+
+  let total t = Array.fold_left ( + ) 0 t.buckets
+
+  let upper_bound_sum t ~min_exponent =
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun k c ->
+        if k >= min_exponent && c > 0 then
+          sum := !sum +. (float_of_int c *. (2.0 ** float_of_int (k + 1))))
+      t.buckets;
+    !sum
+
+  let pp ppf t =
+    List.iter
+      (fun (k, c) ->
+        Format.fprintf ppf "[2^%d, 2^%d): %d@." k (k + 1) c)
+      (buckets t)
+end

@@ -1,0 +1,54 @@
+type t = int32
+
+let of_int32 v = v
+let to_int32 t = t
+
+let of_octets a b c d =
+  let check x = if x < 0 || x > 255 then invalid_arg "Ipv4_addr.of_octets" in
+  check a; check b; check c; check d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let to_octets t =
+  let v = Int32.to_int (Int32.logand t 0xFFFFFFl) in
+  let a = Int32.to_int (Int32.shift_right_logical t 24) in
+  (a, (v lsr 16) land 0xFF, (v lsr 8) land 0xFF, v land 0xFF)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    match
+      (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+    with
+    | Some a, Some b, Some c, Some d -> of_octets a b c d
+    | _ -> invalid_arg ("Ipv4_addr.of_string: " ^ s))
+  | _ -> invalid_arg ("Ipv4_addr.of_string: " ^ s)
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let mask_of_len len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4_addr: bad prefix length";
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let random_in rng ~prefix ~prefix_len =
+  let mask = mask_of_len prefix_len in
+  let host_bits = Int32.lognot mask in
+  let raw = Int64.to_int32 (Rng.bits64 rng) in
+  Int32.logor (Int32.logand prefix mask) (Int32.logand raw host_bits)
+
+let in_prefix t ~prefix ~prefix_len =
+  let mask = mask_of_len prefix_len in
+  Int32.equal (Int32.logand t mask) (Int32.logand prefix mask)
+
+let is_private t =
+  in_prefix t ~prefix:(of_octets 10 0 0 0) ~prefix_len:8
+  || in_prefix t ~prefix:(of_octets 172 16 0 0) ~prefix_len:12
+  || in_prefix t ~prefix:(of_octets 192 168 0 0) ~prefix_len:16
+
+let equal = Int32.equal
+let compare = Int32.compare
+let hash t = Int32.to_int t land max_int
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,53 @@
+(** Big-endian (network byte order) binary readers and writers.
+
+    {!Writer} is a growable buffer used when encoding frames; {!Reader}
+    is a bounds-checked cursor over immutable bytes used by the
+    dissectors. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u32_of_int : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val bytes : t -> bytes -> unit
+  val string : t -> string -> unit
+  val zeros : t -> int -> unit
+  val contents : t -> bytes
+
+  val patch_u16 : t -> pos:int -> int -> unit
+  (** Overwrite a previously written 16-bit field (e.g. a length that is
+      only known once the rest of the packet has been encoded). *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised on any read past the end of the buffer.  Dissectors catch
+      this to mark a frame as truncated, which is normal for snapped
+      captures. *)
+
+  val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val u64 : t -> int64
+  val take : t -> int -> bytes
+  val skip : t -> int -> unit
+  val peek_u8 : t -> int
+  val peek_u16 : t -> int
+
+  val peek_bytes : t -> int -> bytes
+  (** Copy of the next [n] bytes without consuming them. *)
+
+  val sub : t -> int -> t
+  (** [sub t n] is a reader over the next [n] bytes, consuming them from
+      [t]. *)
+end

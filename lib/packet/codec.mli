@@ -1,0 +1,15 @@
+(** Wire encoding of frames.
+
+    [encode] produces the exact on-the-wire byte sequence (without the
+    Ethernet FCS, matching what pcap captures contain): big-endian
+    fields, correct EtherType/protocol chaining, IPv4/TCP/UDP checksums,
+    and zero padding up to the 60-byte Ethernet minimum.  The dissector
+    ({!Dissect}) is the inverse of this function, and the two are tested
+    against each other by round-trip properties. *)
+
+val encode : ?payload_byte:char -> Frame.t -> bytes
+(** Encode a frame.  The opaque payload is filled with [payload_byte]
+    (default ['\x00']). *)
+
+val encoded_length : Frame.t -> int
+(** Length [encode] will produce, without building the bytes. *)

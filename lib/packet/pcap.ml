@@ -1,0 +1,122 @@
+type packet = { ts : float; orig_len : int; data : bytes }
+
+let magic_be = 0xA1B2C3D4l
+let magic_le = 0xD4C3B2A1l
+let linktype_ethernet = 1l
+
+module Writer = struct
+  type t = { snaplen : int; buf : Buffer.t; mutable count : int }
+
+  let write_u32_be buf v =
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int v land 0xFF))
+
+  let write_u16_be buf v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+
+  let create ?(snaplen = 65535) () =
+    if snaplen <= 0 then invalid_arg "Pcap.Writer.create: snaplen must be positive";
+    let buf = Buffer.create 4096 in
+    write_u32_be buf magic_be;
+    write_u16_be buf 2 (* version major *);
+    write_u16_be buf 4 (* version minor *);
+    write_u32_be buf 0l (* thiszone *);
+    write_u32_be buf 0l (* sigfigs *);
+    write_u32_be buf (Int32.of_int snaplen);
+    write_u32_be buf linktype_ethernet;
+    { snaplen; buf; count = 0 }
+
+  let snaplen t = t.snaplen
+
+  let add t ~ts ?orig_len data =
+    let orig_len = match orig_len with Some l -> l | None -> Bytes.length data in
+    let incl_len = min (Bytes.length data) t.snaplen in
+    let sec = int_of_float ts in
+    let usec = int_of_float ((ts -. float_of_int sec) *. 1e6) in
+    write_u32_be t.buf (Int32.of_int sec);
+    write_u32_be t.buf (Int32.of_int usec);
+    write_u32_be t.buf (Int32.of_int incl_len);
+    write_u32_be t.buf (Int32.of_int orig_len);
+    Buffer.add_subbytes t.buf data 0 incl_len;
+    t.count <- t.count + 1
+
+  let add_frame t ~ts frame =
+    let data = Codec.encode frame in
+    add t ~ts ~orig_len:(Bytes.length data) data
+
+  let packet_count t = t.count
+  let byte_length t = Buffer.length t.buf
+  let contents t = Buffer.to_bytes t.buf
+
+  let to_file t path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc t.buf)
+end
+
+module Reader = struct
+  exception Malformed of string
+
+  type endian = Big | Little
+
+  let u32 endian buf pos =
+    match endian with
+    | Big ->
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Bytes.get_uint16_be buf pos)) 16)
+        (Int32.of_int (Bytes.get_uint16_be buf (pos + 2)))
+    | Little ->
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Bytes.get_uint16_le buf (pos + 2))) 16)
+        (Int32.of_int (Bytes.get_uint16_le buf pos))
+
+  let u32_int endian buf pos =
+    let v = u32 endian buf pos in
+    Int32.to_int (Int32.logand v 0x7FFFFFFFl)
+
+  let header buf =
+    if Bytes.length buf < 24 then raise (Malformed "file shorter than global header");
+    let raw_magic = u32 Big buf 0 in
+    if Int32.equal raw_magic magic_be then Big
+    else if Int32.equal raw_magic magic_le then Little
+    else raise (Malformed (Printf.sprintf "bad magic 0x%08lx" raw_magic))
+
+  let snaplen buf =
+    let endian = header buf in
+    u32_int endian buf 16
+
+  let fold buf ~init ~f =
+    let endian = header buf in
+    let len = Bytes.length buf in
+    let rec go acc pos =
+      if pos = len then acc
+      else if pos + 16 > len then raise (Malformed "truncated record header")
+      else begin
+        let sec = u32_int endian buf pos in
+        let usec = u32_int endian buf (pos + 4) in
+        let incl_len = u32_int endian buf (pos + 8) in
+        let orig_len = u32_int endian buf (pos + 12) in
+        if pos + 16 + incl_len > len then raise (Malformed "truncated packet data");
+        let data = Bytes.sub buf (pos + 16) incl_len in
+        let ts = float_of_int sec +. (float_of_int usec /. 1e6) in
+        go (f acc { ts; orig_len; data }) (pos + 16 + incl_len)
+      end
+    in
+    go init 24
+
+  let packets buf = List.rev (fold buf ~init:[] ~f:(fun acc p -> p :: acc))
+
+  let of_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let buf = Bytes.create len in
+        really_input ic buf 0 len;
+        packets buf)
+end

@@ -1,0 +1,49 @@
+(** The libpcap capture-file format (v2.4, LINKTYPE_ETHERNET).
+
+    Patchwork's capture paths all produce pcap files and the analysis
+    pipeline consumes them, so this codec is the interchange point
+    between the two halves of the system.  Files written here are
+    readable by tcpdump/Wireshark (big-endian byte order, which readers
+    detect from the magic number). *)
+
+type packet = {
+  ts : float;  (** capture timestamp, seconds (microsecond precision) *)
+  orig_len : int;  (** original frame length on the wire *)
+  data : bytes;  (** captured bytes, possibly truncated to the snaplen *)
+}
+
+module Writer : sig
+  type t
+
+  val create : ?snaplen:int -> unit -> t
+  (** In-memory pcap writer.  [snaplen] (default 65535) truncates stored
+      packet bytes, as a capture snap length does. *)
+
+  val snaplen : t -> int
+
+  val add : t -> ts:float -> ?orig_len:int -> bytes -> unit
+  (** Append a raw packet.  [orig_len] defaults to the byte length. *)
+
+  val add_frame : t -> ts:float -> Frame.t -> unit
+  (** Encode a {!Frame.t} and append it. *)
+
+  val packet_count : t -> int
+
+  val byte_length : t -> int
+  (** Total encoded size so far, including the global header. *)
+
+  val contents : t -> bytes
+  val to_file : t -> string -> unit
+end
+
+module Reader : sig
+  exception Malformed of string
+
+  val packets : bytes -> packet list
+  (** Decode a whole capture.  Raises {!Malformed} on a bad magic number
+      or a truncated record. *)
+
+  val fold : bytes -> init:'a -> f:('a -> packet -> 'a) -> 'a
+  val snaplen : bytes -> int
+  val of_file : string -> packet list
+end

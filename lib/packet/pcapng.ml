@@ -1,0 +1,142 @@
+exception Malformed of string
+
+let shb_type = 0x0A0D0D0Al
+let idb_type = 0x00000001l
+let epb_type = 0x00000006l
+let spb_type = 0x00000003l
+let byte_order_magic = 0x1A2B3C4Dl
+
+let pad32 n = (4 - (n land 3)) land 3
+
+(* --- Writer (big-endian section) --- *)
+
+let write ?(snaplen = 65535) packets =
+  let buf = Buffer.create 4096 in
+  let u32 v =
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (Int32.to_int v land 0xFF))
+  in
+  let u32i v = u32 (Int32.of_int v) in
+  let u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  let block btype body_len emit_body =
+    let total = 12 + body_len + pad32 body_len in
+    u32 btype;
+    u32i total;
+    emit_body ();
+    for _ = 1 to pad32 body_len do
+      Buffer.add_char buf '\x00'
+    done;
+    u32i total
+  in
+  (* Section Header Block. *)
+  block shb_type 16 (fun () ->
+      u32 byte_order_magic;
+      u16 1 (* major *);
+      u16 0 (* minor *);
+      u32 0xFFFFFFFFl;
+      u32 0xFFFFFFFFl (* section length unspecified *));
+  (* Interface Description Block: Ethernet, default microsecond ts. *)
+  block idb_type 8 (fun () ->
+      u16 1 (* LINKTYPE_ETHERNET *);
+      u16 0 (* reserved *);
+      u32i snaplen);
+  (* Enhanced Packet Blocks. *)
+  List.iter
+    (fun (p : Pcap.packet) ->
+      let data = p.Pcap.data in
+      let incl = min (Bytes.length data) snaplen in
+      let usec = Int64.of_float (p.Pcap.ts *. 1e6) in
+      block epb_type (20 + incl) (fun () ->
+          u32 0l (* interface id *);
+          u32 (Int64.to_int32 (Int64.shift_right_logical usec 32));
+          u32 (Int64.to_int32 usec);
+          u32i incl;
+          u32i p.Pcap.orig_len;
+          Buffer.add_subbytes buf data 0 incl))
+    packets;
+  Buffer.to_bytes buf
+
+let writer_of_frames ?snaplen frames =
+  write ?snaplen
+    (List.map
+       (fun (ts, frame) ->
+         let data = Codec.encode frame in
+         { Pcap.ts; orig_len = Bytes.length data; data })
+       frames)
+
+(* --- Reader --- *)
+
+type endian = Big | Little
+
+let ru32 endian buf pos =
+  if pos + 4 > Bytes.length buf then raise (Malformed "truncated u32");
+  match endian with
+  | Big ->
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (Bytes.get_uint16_be buf pos)) 16)
+      (Int32.of_int (Bytes.get_uint16_be buf (pos + 2)))
+  | Little ->
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (Bytes.get_uint16_le buf (pos + 2))) 16)
+      (Int32.of_int (Bytes.get_uint16_le buf pos))
+
+let ru32i endian buf pos = Int32.to_int (Int32.logand (ru32 endian buf pos) 0x7FFFFFFFl)
+
+let is_pcapng buf =
+  Bytes.length buf >= 4 && Int32.equal (ru32 Big buf 0) shb_type
+
+let packets buf =
+  if not (is_pcapng buf) then raise (Malformed "not a pcapng stream");
+  let len = Bytes.length buf in
+  let out = ref [] in
+  let endian = ref Big in
+  let pos = ref 0 in
+  while !pos + 12 <= len do
+    let btype = ru32 Big buf !pos in
+    (* Section headers carry the byte-order magic; detect per section. *)
+    if Int32.equal btype shb_type then begin
+      let magic = ru32 Big buf (!pos + 8) in
+      if Int32.equal magic byte_order_magic then endian := Big
+      else if Int32.equal magic 0x4D3C2B1Al then endian := Little
+      else raise (Malformed "bad byte-order magic")
+    end;
+    let total = ru32i !endian buf (!pos + 4) in
+    if total < 12 || total mod 4 <> 0 || !pos + total > len then
+      raise (Malformed "bad block length");
+    let body = !pos + 8 in
+    let block_type_here = ru32 !endian buf !pos in
+    if Int32.equal block_type_here epb_type then begin
+      let hi = Int64.of_int (ru32i !endian buf (body + 4)) in
+      let lo =
+        Int64.logand (Int64.of_int32 (ru32 !endian buf (body + 8))) 0xFFFFFFFFL
+      in
+      let usec = Int64.logor (Int64.shift_left hi 32) lo in
+      let incl = ru32i !endian buf (body + 12) in
+      let orig = ru32i !endian buf (body + 16) in
+      if body + 20 + incl > !pos + total then raise (Malformed "truncated packet");
+      out :=
+        {
+          Pcap.ts = Int64.to_float usec /. 1e6;
+          orig_len = orig;
+          data = Bytes.sub buf (body + 20) incl;
+        }
+        :: !out
+    end
+    else if Int32.equal block_type_here spb_type then begin
+      let orig = ru32i !endian buf body in
+      let incl = min orig (total - 16) in
+      out :=
+        { Pcap.ts = 0.0; orig_len = orig; data = Bytes.sub buf (body + 4) incl }
+        :: !out
+    end;
+    pos := !pos + total
+  done;
+  List.rev !out
+
+let read_any buf =
+  if is_pcapng buf then packets buf else Pcap.Reader.packets buf

@@ -1,0 +1,27 @@
+(** The pcapng capture format (Section Header + Interface Description +
+    Enhanced Packet blocks).
+
+    Modern Wireshark writes pcapng by default, so the offline pipeline
+    accepts it alongside classic pcap.  The writer emits one section
+    with a single Ethernet interface at microsecond resolution; the
+    reader handles both byte orders, skips unknown block types, and
+    tolerates multiple interfaces (all packets are returned in file
+    order). *)
+
+val write : ?snaplen:int -> Pcap.packet list -> bytes
+(** Encode packets into a single-section pcapng stream. *)
+
+val writer_of_frames : ?snaplen:int -> (float * Frame.t) list -> bytes
+(** Convenience: encode frames and wrap them. *)
+
+exception Malformed of string
+
+val packets : bytes -> Pcap.packet list
+(** Decode every Enhanced/Simple Packet block of every section. *)
+
+val is_pcapng : bytes -> bool
+(** Checks the magic block type (and so distinguishes pcapng from
+    classic pcap). *)
+
+val read_any : bytes -> Pcap.packet list
+(** Dispatch on magic: classic pcap or pcapng. *)

@@ -1,0 +1,121 @@
+type event = { time : float; seq : int; id : int; callback : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  cancelled : (int, unit) Hashtbl.t;
+}
+
+let create ?(start_time = 0.0) () =
+  {
+    clock = start_time;
+    heap = Array.make 64 { time = 0.0; seq = 0; id = 0; callback = (fun _ -> ()) };
+    size = 0;
+    next_seq = 0;
+    cancelled = Hashtbl.create 16;
+  }
+
+let now t = t.clock
+
+(* Min-heap ordered by (time, seq). *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let grown = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let schedule_id t ~delay callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time = t.clock +. delay; seq; id = seq; callback };
+  seq
+
+let schedule t ~delay callback = ignore (schedule_id t ~delay callback)
+
+let schedule_at t ~time callback =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  schedule t ~delay:(time -. t.clock) callback
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t = t.size
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+    t.clock <- max t.clock ev.time;
+    if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+    else ev.callback t;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    let continue = ref true in
+    while !continue do
+      match peek t with
+      | Some ev when ev.time <= stop -> ignore (step t)
+      | Some _ | None ->
+        continue := false;
+        t.clock <- max t.clock stop
+    done
+
+let every t ~period ?until callback =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let rec tick engine =
+    match until with
+    | Some stop when now engine > stop -> ()
+    | Some _ | None ->
+      callback engine;
+      schedule engine ~delay:period tick
+  in
+  schedule t ~delay:period tick

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A single engine owns the simulated clock and an event queue ordered
+    by (time, sequence number) — ties fire in scheduling order, which
+    keeps simulations deterministic.  The testbed, traffic and host
+    models all run on this engine. *)
+
+type t
+
+val create : ?start_time:float -> unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Run a callback [delay] seconds from now.  Negative delays are
+    rejected. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Run a callback at an absolute time, which must not be in the past. *)
+
+val cancel : t -> int -> unit
+(** Cancel a pending event by the id from {!schedule_id}. *)
+
+val schedule_id : t -> delay:float -> (t -> unit) -> int
+(** Like {!schedule} but returns an id usable with {!cancel}. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [until], stop once the next event would
+    be past that time (the clock is then advanced to [until]). *)
+
+val step : t -> bool
+(** Execute the single next event; [false] if the queue was empty. *)
+
+val every : t -> period:float -> ?until:float -> (t -> unit) -> unit
+(** Run a callback periodically, starting one period from now, until the
+    optional end time. *)

@@ -1,0 +1,50 @@
+type t = {
+  engine : Simcore.Engine.t;
+  model : Info_model.t;
+  switches : (string, Switch.t) Hashtbl.t;
+  allocator : Allocator.t;
+  telemetry : Telemetry.t;
+  rng : Netcore.Rng.t;
+}
+
+let create ?(n_sites = 30) ~seed engine =
+  let model = Info_model.generate ~n_sites ~seed () in
+  let rng = Netcore.Rng.create (seed * 104729) in
+  let telemetry = Telemetry.create engine in
+  let switches = Hashtbl.create n_sites in
+  Array.iter
+    (fun (s : Info_model.site) ->
+      let sw =
+        Switch.create engine ~site_name:s.Info_model.name
+          ~ports:(Info_model.total_ports s) ~line_rate:s.Info_model.line_rate
+      in
+      Hashtbl.add switches s.Info_model.name sw;
+      Telemetry.register_switch telemetry sw)
+    model.Info_model.sites;
+  let allocator = Allocator.create engine (Netcore.Rng.split rng) model in
+  { engine; model; switches; allocator; telemetry; rng }
+
+let engine t = t.engine
+let model t = t.model
+let allocator t = t.allocator
+let telemetry t = t.telemetry
+let rng t = t.rng
+
+let switch t ~site =
+  match Hashtbl.find_opt t.switches site with
+  | Some sw -> sw
+  | None -> raise Not_found
+
+let uplink_ports t ~site =
+  let s = Info_model.site t.model site in
+  List.init s.Info_model.uplinks Fun.id
+
+let downlink_ports t ~site =
+  let s = Info_model.site t.model site in
+  List.init s.Info_model.downlinks (fun i -> s.Info_model.uplinks + i)
+
+let all_ports t ~site =
+  let s = Info_model.site t.model site in
+  List.init (Info_model.total_ports s) Fun.id
+
+let start_telemetry ?until t = Telemetry.start ?until t.telemetry

@@ -1,0 +1,46 @@
+(** MFlib-style telemetry: SNMP polling of switch counters into a
+    Prometheus-like time-series store.
+
+    FABRIC polls every switch port every 5 minutes; Patchwork consumes
+    the resulting series to rank ports by activity, detect mirror
+    congestion, and (in this reproduction) to regenerate the
+    testbed-utilization figures. *)
+
+type t
+
+val create : Simcore.Engine.t -> t
+
+val register_switch : t -> Switch.t -> unit
+(** Add a site switch to the polling set. *)
+
+val poll_period : float
+(** 300 seconds, as on FABRIC. *)
+
+val start : ?until:float -> t -> unit
+(** Begin periodic polling on the engine. *)
+
+val poll_now : t -> unit
+(** Take one immediate sample of every registered switch. *)
+
+val store : t -> Simcore.Timeseries.t
+(** Raw access to the underlying series (keys are
+    ["SITE/p<N>/tx_bytes"], [".../rx_bytes"], [".../tx_rate"],
+    [".../rx_rate"], [".../drops"]). *)
+
+val port_avg_rate :
+  t -> site:string -> port:int -> window:float -> at:float -> float
+(** Average Tx+Rx byte rate of a port over a trailing window, from the
+    stored 5-minute rate samples; 0 if no samples. *)
+
+val busiest_port :
+  t -> site:string -> candidates:int list -> window:float -> at:float -> int option
+(** The candidate port with the highest {!port_avg_rate}; [None] if
+    every candidate is idle (zero rate). *)
+
+val channel_rates_at :
+  t -> site:string -> port:int -> at:float -> (float * float) option
+(** Most recent (tx, rx) byte-rate sample at or before [at]. *)
+
+val weekly_rate_sums : t -> weeks:int -> float array
+(** For each week index, the sum over all ports and polls of the stored
+    5-minute Tx byte-rate samples (the Fig. 6 methodology). *)

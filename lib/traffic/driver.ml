@@ -1,0 +1,256 @@
+open Netcore
+module Fablib = Testbed.Fablib
+module Switch = Testbed.Switch
+module Info_model = Testbed.Info_model
+
+type site_ports = {
+  (* Downlinks in per-site popularity order: researchers pile onto the
+     same few well-equipped servers, so port selection is Zipfian. *)
+  ranked_downlinks : int array;
+  downlink_zipf : Dist.Zipf.sampler;
+}
+
+type t = {
+  fabric : Fablib.t;
+  seed : int;
+  rng : Rng.t;
+  profiles : (string, Workload.profile) Hashtbl.t;
+  ports : (string, site_ports) Hashtbl.t;
+  specs : (int, Flow_model.spec) Hashtbl.t;
+  mutable next_flow : int;
+  mutable spawned : int;
+  mutable until : float;
+}
+
+let create fabric ~seed =
+  let profiles = Hashtbl.create 32 in
+  let ports = Hashtbl.create 32 in
+  let rng = Rng.create (seed * 2654435761) in
+  Array.iter
+    (fun site ->
+      let name = site.Info_model.name in
+      Hashtbl.add profiles name (Workload.profile_for_site ~seed site);
+      let downlinks = Array.of_list (Fablib.downlink_ports fabric ~site:name) in
+      Rng.shuffle rng downlinks;
+      Hashtbl.add ports name
+        {
+          ranked_downlinks = downlinks;
+          downlink_zipf = Dist.Zipf.create ~n:(Array.length downlinks) ~s:1.2;
+        })
+    (Fablib.model fabric).Info_model.sites;
+  {
+    fabric;
+    seed;
+    rng;
+    profiles;
+    ports;
+    specs = Hashtbl.create 1024;
+    next_flow = 0;
+    spawned = 0;
+    until = 0.0;
+  }
+
+let profiles t = Hashtbl.fold (fun _ p acc -> p :: acc) t.profiles []
+
+let profile t ~site =
+  match Hashtbl.find_opt t.profiles site with
+  | Some p -> p
+  | None -> invalid_arg ("Driver.profile: unknown site " ^ site)
+
+let resolver t flow = Hashtbl.find_opt t.specs flow
+let live_flow_count t = Hashtbl.length t.specs
+let spawned_flows t = t.spawned
+
+let fresh_flow_id t =
+  let id = t.next_flow in
+  t.next_flow <- id + 1;
+  id
+
+(* Frame sizes of a pure-ACK reverse stream. *)
+let ack_frame_sizes = Dist.Empirical [| (0.85, 66.0); (0.15, 90.0) |]
+
+(* Elephants push jumbo frames regardless of the site's usual mix; a
+   few percent of control/retransmission chatter rides along. *)
+let elephant_frame_sizes =
+  Dist.Empirical [| (0.87, 1948.0); (0.045, 200.0); (0.085, 9000.0) |]
+
+let pick_service rng (p : Workload.profile) =
+  match p.Workload.palette with
+  | [] -> Option.get (Dissect.Services.by_name "ssh")
+  | palette ->
+    let n = List.length palette in
+    let zipf = Dist.Zipf.create ~n ~s:0.9 in
+    List.nth palette (Dist.Zipf.sample zipf rng - 1)
+
+let pick_other_site t ~not_site =
+  (* Multi-site slices overwhelmingly anchor on well-equipped sites, so
+     quiet sites receive little remote traffic. *)
+  let candidates =
+    List.filter_map
+      (fun (s : Info_model.site) ->
+        if s.Info_model.name = not_site then None
+        else begin
+          let p = Hashtbl.find t.profiles s.Info_model.name in
+          Some (Workload.class_scale p.Workload.site_class, s.Info_model.name)
+        end)
+      (Array.to_list (Fablib.model t.fabric).Info_model.sites)
+  in
+  Rng.weighted t.rng candidates
+
+let random_downlink t ~site =
+  let sp = Hashtbl.find t.ports site in
+  let rank = Dist.Zipf.sample sp.downlink_zipf t.rng in
+  sp.ranked_downlinks.(rank - 1)
+let random_uplink t ~site = Rng.choice t.rng (Array.of_list (Fablib.uplink_ports t.fabric ~site))
+
+(* A "plan" is the list of (site, port, dir) channels a stream occupies. *)
+let attach t plan ~flow ~byte_rate ~frame_rate =
+  List.iter
+    (fun (site, port, dir) ->
+      Switch.attach_flow (Fablib.switch t.fabric ~site) ~port ~dir ~byte_rate
+        ~frame_rate ~flow)
+    plan
+
+let detach t ~flow sites =
+  List.iter (fun site -> Switch.detach_flow (Fablib.switch t.fabric ~site) ~flow) sites;
+  Hashtbl.remove t.specs flow
+
+(* Channels crossed by the forward direction of a flow from [src] port
+   at [site] toward either another server of the same site or a remote
+   site.  The reverse stream uses the mirrored plan. *)
+let plan_forward t ~site ~src_port = function
+  | `Intra dst_port -> [ (site, src_port, Switch.Rx); (site, dst_port, Switch.Tx) ]
+  | `Cross (remote, remote_dst) ->
+    [
+      (site, src_port, Switch.Rx);
+      (site, random_uplink t ~site, Switch.Tx);
+      (remote, random_uplink t ~site:remote, Switch.Rx);
+      (remote, remote_dst, Switch.Tx);
+    ]
+
+let plan_reverse plan =
+  List.map
+    (fun (site, port, dir) ->
+      (site, port, match dir with Switch.Rx -> Switch.Tx | Switch.Tx -> Switch.Rx))
+    plan
+
+let sites_of_plan plan =
+  List.sort_uniq compare (List.map (fun (site, _, _) -> site) plan)
+
+let spawn_flow t (p : Workload.profile) =
+  let engine = Fablib.engine t.fabric in
+  let now = Simcore.Engine.now engine in
+  let rng = t.rng in
+  let site = p.Workload.site_name in
+  (* Character of this flow. *)
+  let byte_rate = Dist.sample p.Workload.flow_byte_rate rng in
+  let is_elephant = byte_rate >= 2e9 in
+  let is_swarm =
+    (not is_elephant)
+    && p.Workload.site_class = Workload.App_rich
+    && Rng.bernoulli rng 0.12
+  in
+  let subflows =
+    if is_swarm then Rng.int_in rng 200 5000
+    else if is_elephant then 1
+    else
+      (* Many experiments open parallel connections (iperf -P, storage
+         clients, scan tools). *)
+      Rng.weighted rng
+        [ (0.60, 1); (0.25, 1 + Rng.int rng 16); (0.15, 16 + Rng.int rng 112) ]
+  in
+  let byte_rate = if is_swarm then byte_rate *. 5.0 else byte_rate in
+  let duration = Float.max 1.0 (Dist.sample p.Workload.flow_duration rng) in
+  let service =
+    (* Line-rate bulk transfers are overwhelmingly TCP throughput tests. *)
+    if is_elephant && Rng.bernoulli rng 0.85 then
+      Option.get (Dissect.Services.by_name "iperf3")
+    else pick_service rng p
+  in
+  let params =
+    {
+      Stack_builder.vlan_id = 100 + Rng.int rng 3900;
+      mpls_labels =
+        List.init p.Workload.mpls_labels (fun _ -> 16 + Rng.int rng 1_000_000);
+      use_pseudowire = Rng.bernoulli rng p.Workload.pseudowire_fraction;
+      use_vxlan = (not is_elephant) && Rng.bernoulli rng p.Workload.vxlan_fraction;
+      (* Bulk line-rate transfers are mostly IPv4; a small share of
+         bulk tests exercises IPv6 paths. *)
+      use_ipv6 =
+        (if is_elephant then Rng.bernoulli rng 0.04
+         else Rng.bernoulli rng p.Workload.ipv6_fraction);
+      service;
+    }
+  in
+  let template = Stack_builder.forward rng params in
+  let frame_size =
+    if is_elephant then elephant_frame_sizes else p.Workload.data_frame_size
+  in
+  let avg_frame_size = Option.value ~default:800.0 (Dist.mean frame_size) in
+  (* Placement. *)
+  let src_port = random_downlink t ~site in
+  let destination =
+    if Rng.bernoulli rng p.Workload.cross_site_fraction then begin
+      let remote = pick_other_site t ~not_site:site in
+      `Cross (remote, random_downlink t ~site:remote)
+    end
+    else begin
+      let downlinks = Fablib.downlink_ports t.fabric ~site in
+      match List.filter (fun port -> port <> src_port) downlinks with
+      | [] -> `Intra src_port (* single-downlink site: loop locally *)
+      | others -> `Intra (Rng.choice rng (Array.of_list others))
+    end
+  in
+  let fwd_plan = plan_forward t ~site ~src_port destination in
+  (* Forward stream. *)
+  let fwd_id = fresh_flow_id t in
+  let fwd_spec =
+    Flow_model.make ~flow_id:fwd_id ~template ~frame_size ~avg_frame_size
+      ~byte_rate ~start_time:now ~duration ~subflows ()
+  in
+  Hashtbl.replace t.specs fwd_id fwd_spec;
+  attach t fwd_plan ~flow:fwd_id ~byte_rate
+    ~frame_rate:(Flow_model.frame_rate fwd_spec);
+  (* Reverse ACK stream for TCP services. *)
+  let rev_ids =
+    if service.Dissect.Services.l4 = Dissect.Services.Tcp then begin
+      let rev_id = fresh_flow_id t in
+      let rev_template = Stack_builder.reverse template in
+      let rev_rate = byte_rate *. p.Workload.ack_fraction in
+      let rev_spec =
+        Flow_model.make ~flow_id:rev_id ~template:rev_template
+          ~frame_size:ack_frame_sizes ~avg_frame_size:70.0 ~byte_rate:rev_rate
+          ~start_time:now ~duration ~subflows ()
+      in
+      Hashtbl.replace t.specs rev_id rev_spec;
+      attach t (plan_reverse fwd_plan) ~flow:rev_id ~byte_rate:rev_rate
+        ~frame_rate:(Flow_model.frame_rate rev_spec);
+      [ rev_id ]
+    end
+    else []
+  in
+  t.spawned <- t.spawned + 1 + List.length rev_ids;
+  let sites = sites_of_plan fwd_plan in
+  Simcore.Engine.schedule engine ~delay:duration (fun _ ->
+      detach t ~flow:fwd_id sites;
+      List.iter (fun id -> detach t ~flow:id sites) rev_ids)
+
+(* Thinned Poisson arrivals per site: draw at a fixed ceiling intensity
+   and accept proportionally to the current activity. *)
+let max_site_activity = 8.0
+
+let rec schedule_next_arrival t (p : Workload.profile) =
+  let engine = Fablib.engine t.fabric in
+  let ceiling = p.Workload.base_flow_arrival *. max_site_activity in
+  let dt = Rng.exponential t.rng ~mean:(1.0 /. ceiling) in
+  Simcore.Engine.schedule engine ~delay:dt (fun engine ->
+      if Simcore.Engine.now engine < t.until then begin
+        let act = Workload.site_activity p ~seed:t.seed (Simcore.Engine.now engine) in
+        if Rng.bernoulli t.rng (Float.min 1.0 (act /. max_site_activity)) then
+          spawn_flow t p;
+        schedule_next_arrival t p
+      end)
+
+let start t ~until =
+  t.until <- until;
+  Hashtbl.iter (fun _ p -> schedule_next_arrival t p) t.profiles

@@ -1,0 +1,32 @@
+(** Event-driven traffic generation on the simulated testbed.
+
+    The driver owns the per-site workload profiles, creates flows as
+    Poisson arrivals modulated by the seasonal activity curve, attaches
+    their rates to the relevant switch ports (source-server Rx,
+    destination-server Tx, and uplinks for cross-site flows), and
+    detaches them when they end.
+
+    Frames are never generated here — switches only carry rates.  When a
+    capture runs, it reads the attachments of the mirrored port and asks
+    {!resolver} for each flow's {!Flow_model.spec} to materialize frames
+    for just that window. *)
+
+type t
+
+val create : Testbed.Fablib.t -> seed:int -> t
+
+val profiles : t -> Workload.profile list
+val profile : t -> site:string -> Workload.profile
+
+val start : t -> until:float -> unit
+(** Begin flow arrivals at every site, running until the given absolute
+    time. *)
+
+val resolver : t -> int -> Flow_model.spec option
+(** Look up the spec of a currently attached flow handle. *)
+
+val live_flow_count : t -> int
+
+val spawned_flows : t -> int
+(** Total flows created since the driver started (ACK streams count as
+    their own flows). *)

@@ -1,0 +1,61 @@
+(** Flow specifications and frame materialization.
+
+    A flow is described by a header-stack template, a wire-frame-size
+    distribution and an average byte rate over a lifetime.  The switch
+    model only needs the rates; actual frames are materialized lazily,
+    and only for the time windows in which a capture is running — this
+    is what makes year-scale simulations affordable. *)
+
+type spec = {
+  flow_id : int;
+  template : Packet.Headers.header list;
+      (** validated stack; per-frame fields (IPv4 ident, TCP seq) are
+          randomized at materialization time *)
+  frame_size : Netcore.Dist.t;  (** wire length distribution, bytes *)
+  avg_frame_size : float;
+  byte_rate : float;  (** average bytes per second on the wire *)
+  start_time : float;
+  duration : float;
+  subflows : int;
+      (** when > 1, the spec stands for an aggregate of that many
+          distinct 5-tuples (a swarm of mice); materialized frames are
+          spread across per-subflow address/port variants.  This keeps
+          the switch model cheap (one attachment) while letting a 20 s
+          sample observe thousands of distinct flows, as in Fig. 13. *)
+}
+
+val make :
+  flow_id:int ->
+  template:Packet.Headers.header list ->
+  frame_size:Netcore.Dist.t ->
+  avg_frame_size:float ->
+  byte_rate:float ->
+  start_time:float ->
+  duration:float ->
+  ?subflows:int ->
+  unit ->
+  spec
+(** Validates the template stack; raises [Invalid_argument] if it is
+    malformed or if rates/durations are negative.  [subflows] defaults
+    to 1. *)
+
+val frame_rate : spec -> float
+(** Average frames per second ([byte_rate / avg_frame_size]). *)
+
+val end_time : spec -> float
+val active_at : spec -> float -> bool
+val total_bytes : spec -> float
+
+val frames_in_window :
+  spec ->
+  Netcore.Rng.t ->
+  start_time:float ->
+  end_time:float ->
+  (float * Packet.Frame.t) list
+(** Materialize the frames the flow emits during the overlap of its
+    lifetime with the window: a Poisson count at the flow's frame rate,
+    timestamps in order, sizes drawn from [frame_size] (clamped to what
+    the header stack permits and to the 9000-byte jumbo MTU). *)
+
+val expected_frames : spec -> start_time:float -> end_time:float -> float
+(** Mean of the count {!frames_in_window} would draw. *)

@@ -1,0 +1,104 @@
+open Netcore
+
+type sample = { arrival : float; duration : float; sites_used : int }
+
+(* Lifetime mixture calibrated so ~75% of slices last <= 24 h (Fig. 4)
+   with a tail of multi-day experiments. *)
+let duration_dist =
+  Dist.Mixture
+    [ (0.55, Dist.Exponential (8.0 *. Timebase.hour));
+      (0.30, Dist.Exponential (24.0 *. Timebase.hour));
+      (0.15, Dist.Exponential (5.0 *. Timebase.day)) ]
+
+let mean_duration =
+  (0.55 *. 8.0 *. Timebase.hour)
+  +. (0.30 *. 24.0 *. Timebase.hour)
+  +. (0.15 *. 5.0 *. Timebase.day)
+
+(* Slice creation follows the seasonal curve sublinearly — deadline
+   crunches multiply traffic more than they multiply slice count. *)
+let activity_exponent = 0.7
+
+(* Base arrival rate chosen so the mean concurrency is ~85 slices
+   (Fig. 5) given the year-mean of activity^0.7 (~1.04 empirically). *)
+let base_arrivals_per_second = 85.0 /. (mean_duration *. 1.04)
+
+let sites_used_sample rng =
+  if Rng.bernoulli rng 0.665 then 1
+  else begin
+    (* Multi-site slices: 2 + geometric tail. *)
+    let rec extra n = if n >= 10 || Rng.bernoulli rng 0.55 then n else extra (n + 1) in
+    2 + extra 0
+  end
+
+let generate ~seed ~horizon =
+  let rng = Rng.create (seed * 613) in
+  let rec go acc t =
+    (* Thinning: draw at the maximum intensity and accept
+       proportionally to the current seasonal activity. *)
+    let max_activity = 3.6 ** activity_exponent in
+    let dt = Rng.exponential rng ~mean:(1.0 /. (base_arrivals_per_second *. max_activity)) in
+    let t = t +. dt in
+    if t >= horizon then List.rev acc
+    else begin
+      let accept = (Workload.activity ~seed t ** activity_exponent) /. max_activity in
+      if Rng.bernoulli rng accept then
+        let s =
+          {
+            arrival = t;
+            duration = Dist.sample duration_dist rng;
+            sites_used = sites_used_sample rng;
+          }
+        in
+        go (s :: acc) t
+      else go acc t
+    end
+  in
+  go [] 0.0
+
+let spread_fractions samples ~max_sites =
+  if max_sites < 1 then invalid_arg "Slice_process.spread_fractions";
+  let counts = Array.make max_sites 0 in
+  List.iter
+    (fun s ->
+      let k = min max_sites s.sites_used in
+      counts.(k - 1) <- counts.(k - 1) + 1)
+    samples;
+  let total = float_of_int (max 1 (List.length samples)) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let duration_cdf samples ~at_hours =
+  let total = float_of_int (max 1 (List.length samples)) in
+  List.map
+    (fun h ->
+      let cutoff = h *. Timebase.hour in
+      let n = List.length (List.filter (fun s -> s.duration <= cutoff) samples) in
+      (h, float_of_int n /. total))
+    at_hours
+
+let concurrency_series samples ~step ~horizon =
+  if step <= 0.0 then invalid_arg "Slice_process.concurrency_series";
+  let n = int_of_float (horizon /. step) in
+  let deltas = Array.make (n + 1) 0 in
+  List.iter
+    (fun s ->
+      let first = int_of_float (s.arrival /. step) in
+      let last = int_of_float ((s.arrival +. s.duration) /. step) in
+      if first <= n then begin
+        deltas.(first) <- deltas.(first) + 1;
+        if last + 1 <= n then deltas.(last + 1) <- deltas.(last + 1) - 1
+      end)
+    samples;
+  let out = Array.make n (0.0, 0) in
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    live := !live + deltas.(i);
+    out.(i) <- (float_of_int i *. step, !live)
+  done;
+  out
+
+let concurrency_stats series =
+  let values = Array.map (fun (_, v) -> float_of_int v) series in
+  let stats = Dist.Summary.of_array values in
+  (stats.Dist.Summary.mean, stats.Dist.Summary.stddev,
+   int_of_float stats.Dist.Summary.max)

@@ -1,0 +1,30 @@
+(** The slice population process.
+
+    Models researchers' slice creation on the testbed: Poisson arrivals
+    whose intensity follows the seasonal {!Workload.activity} curve,
+    heavy-tailed lifetimes (75% of slices last at most 24 hours), and a
+    site-spread distribution where two-thirds of slices stay within a
+    single site.  Reproduces the inputs behind the paper's Figs. 3-5. *)
+
+type sample = {
+  arrival : float;  (** absolute arrival time, seconds *)
+  duration : float;  (** lifetime, seconds *)
+  sites_used : int;  (** number of sites the slice spans *)
+}
+
+val generate : seed:int -> horizon:float -> sample list
+(** All slices arriving in [0, horizon), in arrival order. *)
+
+val spread_fractions : sample list -> max_sites:int -> float array
+(** [spread_fractions samples ~max_sites].(k) is the fraction of slices
+    using exactly [k+1] sites (the last entry aggregates [>= max_sites]). *)
+
+val duration_cdf : sample list -> at_hours:float list -> (float * float) list
+(** CDF of slice duration evaluated at the given hour marks. *)
+
+val concurrency_series :
+  sample list -> step:float -> horizon:float -> (float * int) array
+(** Number of live slices sampled every [step] seconds. *)
+
+val concurrency_stats : (float * int) array -> float * float * int
+(** (mean, stddev, max) of a concurrency series. *)

@@ -1,0 +1,128 @@
+open Netcore
+module H = Packet.Headers
+module S = Dissect.Services
+
+type flow_params = {
+  vlan_id : int;
+  mpls_labels : int list;
+  use_pseudowire : bool;
+  use_vxlan : bool;
+  use_ipv6 : bool;
+  service : S.service;
+}
+
+let app_header_for rng (service : S.service) : H.header option =
+  match service.S.service_name with
+  | "tls" -> Some (H.Tls { content_type = 23 })
+  | "ssh" -> Some H.Ssh
+  | "http" | "http-alt" ->
+    Some (H.Http (if Rng.bool rng then `Request else `Response))
+  | "dns" | "dns-tcp" -> Some (H.Dns { query = Rng.bool rng; id = Rng.int rng 65536 })
+  | "ntp" -> Some H.Ntp
+  | "quic" -> Some H.Quic
+  | _ -> None
+
+let l4_for rng (service : S.service) : H.header =
+  let src_port = 32768 + Rng.int rng 28000 in
+  match service.S.l4 with
+  | S.Tcp ->
+    H.Tcp
+      {
+        src_port;
+        dst_port = service.S.port;
+        seq = Int64.to_int32 (Rng.bits64 rng);
+        ack_seq = Int64.to_int32 (Rng.bits64 rng);
+        flags = H.flags_psh_ack;
+        window = 8192 + Rng.int rng 57000;
+      }
+  | S.Udp -> H.Udp { src_port; dst_port = service.S.port }
+
+(* Experiment addresses live in a per-slice 10.vlan/16-ish subnet, so
+   identical private ranges in different slices stay distinguishable
+   only via the virtualization tags — as on FABRIC. *)
+let l3_for rng params : H.header =
+  if params.use_ipv6 then
+    H.Ipv6
+      {
+        src =
+          Ipv6_addr.random_in rng
+            ~prefix:(Ipv6_addr.of_string "2001:db8::")
+            ~prefix_len:48;
+        dst =
+          Ipv6_addr.random_in rng
+            ~prefix:(Ipv6_addr.of_string "2001:db8::")
+            ~prefix_len:48;
+        traffic_class = 0;
+        flow_label = Rng.int rng 0x100000;
+        hop_limit = 64;
+      }
+  else begin
+    let subnet =
+      Ipv4_addr.of_octets 10 (params.vlan_id lsr 8 land 0xFF) (params.vlan_id land 0xFF) 0
+    in
+    H.Ipv4
+      {
+        src = Ipv4_addr.random_in rng ~prefix:subnet ~prefix_len:24;
+        dst = Ipv4_addr.random_in rng ~prefix:subnet ~prefix_len:24;
+        dscp = 0;
+        ttl = 64;
+        ident = Rng.int rng 65536;
+        dont_fragment = true;
+      }
+  end
+
+let ethernet rng : H.header =
+  H.Ethernet { src = Mac.random rng; dst = Mac.random rng }
+
+let forward rng params =
+  let tags =
+    H.Vlan { pcp = 0; dei = false; vid = params.vlan_id }
+    :: List.map
+         (fun label -> H.Mpls { label; tc = 0; ttl = 64 })
+         params.mpls_labels
+  in
+  let inner_l3 = l3_for rng params in
+  let l4 = l4_for rng params.service in
+  let app = Option.to_list (app_header_for rng params.service) in
+  let experiment =
+    if params.use_vxlan && not params.use_ipv6 then
+      (* Overlay experiment: the researcher's own VXLAN tunnel between
+         VMs, carrying the actual workload inside. *)
+      [
+        l3_for rng { params with use_ipv6 = false };
+        H.Udp { src_port = 32768 + Rng.int rng 28000; dst_port = 4789 };
+        H.Vxlan { vni = Rng.int rng 0xFFFFFF };
+        ethernet rng;
+        inner_l3;
+        l4;
+      ]
+      @ app
+    else (inner_l3 :: l4 :: app)
+  in
+  if params.use_pseudowire && params.mpls_labels <> [] then
+    (ethernet rng :: tags) @ (H.Pseudowire :: ethernet rng :: experiment)
+  else (ethernet rng :: tags) @ experiment
+
+let reverse headers =
+  List.filter_map
+    (fun (h : H.header) : H.header option ->
+      match h with
+      | H.Ethernet { src; dst } -> Some (H.Ethernet { src = dst; dst = src })
+      | H.Ipv4 ip -> Some (H.Ipv4 { ip with src = ip.dst; dst = ip.src })
+      | H.Ipv6 ip -> Some (H.Ipv6 { ip with src = ip.dst; dst = ip.src })
+      | H.Tcp tcp ->
+        Some
+          (H.Tcp
+             {
+               tcp with
+               src_port = tcp.dst_port;
+               dst_port = tcp.src_port;
+               flags = H.flags_ack;
+             })
+      | H.Udp { src_port; dst_port } ->
+        Some (H.Udp { src_port = dst_port; dst_port = src_port })
+      | H.Tls _ | H.Ssh | H.Http _ | H.Dns _ | H.Ntp | H.Quic -> None
+      | (H.Vlan _ | H.Mpls _ | H.Pseudowire | H.Icmpv4 _ | H.Icmpv6 _ | H.Arp _
+        | H.Vxlan _) as h ->
+        Some h)
+    headers

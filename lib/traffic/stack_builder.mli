@@ -1,0 +1,25 @@
+(** Construction of FABRIC-style header stacks for generated flows.
+
+    Every flow on FABRIC is wrapped in the provider's virtualization
+    tags — a VLAN and one or two MPLS labels, sometimes a PseudoWire
+    carrying an inner Ethernet — before the experiment's own IP traffic.
+    This module builds the forward-direction template for a flow and
+    derives the reverse (ACK-stream) template from it. *)
+
+type flow_params = {
+  vlan_id : int;
+  mpls_labels : int list;
+  use_pseudowire : bool;
+  use_vxlan : bool;
+  use_ipv6 : bool;
+  service : Dissect.Services.service;
+}
+
+val forward : Netcore.Rng.t -> flow_params -> Packet.Headers.header list
+(** Forward-direction template: provider tags, then the experiment's
+    L3/L4 and (when the service has a recognizable wire syntax) its
+    application header.  Always validates. *)
+
+val reverse : Packet.Headers.header list -> Packet.Headers.header list
+(** Swap endpoints at every layer and turn TCP into a pure-ACK stream;
+    application headers are dropped (ACKs carry no payload). *)

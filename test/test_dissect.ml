@@ -1,0 +1,279 @@
+open Packet
+module Dissector = Dissect.Dissector
+module Acap = Dissect.Acap
+module H = Headers
+
+let eth : H.header =
+  H.Ethernet
+    { src = Netcore.Mac.of_string "02:00:00:00:00:01";
+      dst = Netcore.Mac.of_string "02:00:00:00:00:02" }
+
+let ipv4 () : H.header =
+  H.Ipv4
+    { src = Netcore.Ipv4_addr.of_string "10.0.0.1";
+      dst = Netcore.Ipv4_addr.of_string "10.0.0.2";
+      dscp = 10; ttl = 64; ident = 99; dont_fragment = false }
+
+let tcp ~dst_port : H.header =
+  H.Tcp
+    { src_port = 43210; dst_port; seq = 100l; ack_seq = 200l;
+      flags = H.flags_psh_ack; window = 500 }
+
+let headers_testable =
+  Alcotest.testable
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space H.pp)
+    (fun a b -> a = b)
+
+let roundtrip frame =
+  let b = Codec.encode frame in
+  Dissector.dissect b
+
+let test_simple_tcp_roundtrip () =
+  let f = Frame.make [ eth; ipv4 (); tcp ~dst_port:5201 ] ~payload_len:100 in
+  let d = roundtrip f in
+  Alcotest.check headers_testable "headers" f.Frame.headers d.Dissector.headers;
+  Alcotest.(check int) "payload" 100 d.Dissector.payload_len;
+  Alcotest.(check bool) "not truncated" false d.Dissector.truncated
+
+let test_padding_not_counted_for_ip () =
+  (* 54-byte packet padded to 60: IP total length must trim the pad. *)
+  let f = Frame.make [ eth; ipv4 (); tcp ~dst_port:5201 ] ~payload_len:0 in
+  let d = roundtrip f in
+  Alcotest.(check int) "payload 0 despite padding" 0 d.Dissector.payload_len
+
+let test_deep_encapsulation_roundtrip () =
+  let f =
+    Frame.make
+      [ eth;
+        H.Vlan { pcp = 1; dei = false; vid = 3001 };
+        H.Mpls { label = 16001; tc = 2; ttl = 62 };
+        H.Mpls { label = 16002; tc = 2; ttl = 61 };
+        H.Pseudowire;
+        eth;
+        ipv4 ();
+        tcp ~dst_port:443;
+        H.Tls { content_type = 22 } ]
+      ~payload_len:333
+  in
+  let d = roundtrip f in
+  Alcotest.check headers_testable "headers" f.Frame.headers d.Dissector.headers;
+  Alcotest.(check int) "payload" 333 d.Dissector.payload_len
+
+let test_vxlan_roundtrip () =
+  let f =
+    Frame.make
+      [ eth; ipv4 (); H.Udp { src_port = 50000; dst_port = 4789 };
+        H.Vxlan { vni = 0xABCDE }; eth; ipv4 (); tcp ~dst_port:80;
+        H.Http `Request ]
+      ~payload_len:50
+  in
+  let d = roundtrip f in
+  Alcotest.check headers_testable "headers" f.Frame.headers d.Dissector.headers
+
+let test_arp_roundtrip () =
+  let f =
+    Frame.make
+      [ eth;
+        H.Arp
+          { operation = `Reply;
+            sender_mac = Netcore.Mac.of_string "02:00:00:00:00:01";
+            sender_ip = Netcore.Ipv4_addr.of_string "10.0.0.1";
+            target_mac = Netcore.Mac.of_string "02:00:00:00:00:02";
+            target_ip = Netcore.Ipv4_addr.of_string "10.0.0.2" } ]
+      ~payload_len:0
+  in
+  let d = roundtrip f in
+  Alcotest.check headers_testable "headers" f.Frame.headers d.Dissector.headers;
+  Alcotest.(check int) "padding not payload" 0 d.Dissector.payload_len
+
+let test_app_layer_classification () =
+  let cases =
+    [ (tcp ~dst_port:443, H.Tls { content_type = 23 });
+      (tcp ~dst_port:22, H.Ssh);
+      (tcp ~dst_port:80, H.Http `Response);
+      (H.Udp { src_port = 40000; dst_port = 53 }, H.Dns { query = true; id = 77 });
+      (H.Udp { src_port = 40000; dst_port = 123 }, H.Ntp);
+      (H.Udp { src_port = 40000; dst_port = 443 }, H.Quic) ]
+  in
+  List.iter
+    (fun (l4, app) ->
+      let f = Frame.make [ eth; ipv4 (); l4; app ] ~payload_len:64 in
+      let d = roundtrip f in
+      match List.rev d.Dissector.headers with
+      | last :: _ ->
+        Alcotest.(check string)
+          (H.name app ^ " classified")
+          (H.name app) (H.name last)
+      | [] -> Alcotest.fail "no headers")
+    cases
+
+let test_no_app_on_unknown_port () =
+  let f = Frame.make [ eth; ipv4 (); tcp ~dst_port:7777 ] ~payload_len:64 in
+  let d = roundtrip f in
+  Alcotest.(check int) "3 headers only" 3 (List.length d.Dissector.headers);
+  Alcotest.(check int) "payload intact" 64 d.Dissector.payload_len
+
+let test_truncated_capture () =
+  let f = Frame.make [ eth; ipv4 (); tcp ~dst_port:5201 ] ~payload_len:1000 in
+  let b = Codec.encode f in
+  let snapped = Bytes.sub b 0 200 in
+  let d = Dissector.dissect ~orig_len:(Bytes.length b) snapped in
+  Alcotest.(check bool) "truncated" true d.Dissector.truncated;
+  Alcotest.check headers_testable "headers survive" f.Frame.headers d.Dissector.headers
+
+let test_truncated_mid_header () =
+  let f = Frame.make [ eth; ipv4 (); tcp ~dst_port:5201 ] ~payload_len:1000 in
+  let b = Codec.encode f in
+  (* Cut inside the TCP header (starts at 34). *)
+  let snapped = Bytes.sub b 0 40 in
+  let d = Dissector.dissect ~orig_len:(Bytes.length b) snapped in
+  Alcotest.(check bool) "truncated" true d.Dissector.truncated;
+  Alcotest.(check int) "eth+ip survive" 2 (List.length d.Dissector.headers)
+
+let test_garbage_input () =
+  let d = Dissector.dissect (Bytes.make 60 '\xAA') in
+  (* 0xAAAA is an unknown EtherType: Ethernet parses, rest is payload. *)
+  Alcotest.(check int) "one header" 1 (List.length d.Dissector.headers)
+
+let test_empty_input () =
+  let d = Dissector.dissect Bytes.empty in
+  Alcotest.(check bool) "truncated" true d.Dissector.truncated;
+  Alcotest.(check int) "no headers" 0 (List.length d.Dissector.headers)
+
+(* --- Acap --- *)
+
+let test_acap_of_frame () =
+  let f =
+    Frame.make
+      [ eth; H.Vlan { pcp = 0; dei = false; vid = 11 };
+        H.Mpls { label = 555; tc = 0; ttl = 64 }; ipv4 (); tcp ~dst_port:443;
+        H.Tls { content_type = 23 } ]
+      ~payload_len:100
+  in
+  let r = Acap.of_frame ~ts:42.0 f in
+  Alcotest.(check (list string)) "stack"
+    [ "eth"; "vlan"; "mpls"; "ipv4"; "tcp"; "tls" ]
+    r.Acap.stack;
+  Alcotest.(check (list int)) "vlans" [ 11 ] r.Acap.vlan_ids;
+  Alcotest.(check (list int)) "mpls" [ 555 ] r.Acap.mpls_labels;
+  Alcotest.(check (option string)) "src" (Some "10.0.0.1") r.Acap.src;
+  Alcotest.(check bool) "no rst" false r.Acap.tcp_rst
+
+let test_acap_line_roundtrip () =
+  let f =
+    Frame.make [ eth; ipv4 (); tcp ~dst_port:22; H.Ssh ] ~payload_len:10
+  in
+  let r = Acap.of_frame ~ts:1.5 f in
+  let line = Acap.to_line r in
+  match Acap.of_line line with
+  | Error msg -> Alcotest.fail msg
+  | Ok r' ->
+    Alcotest.(check (list string)) "stack" r.Acap.stack r'.Acap.stack;
+    Alcotest.(check int) "orig_len" r.Acap.orig_len r'.Acap.orig_len;
+    Alcotest.(check (option string)) "src" r.Acap.src r'.Acap.src;
+    Alcotest.(check bool) "rst" r.Acap.tcp_rst r'.Acap.tcp_rst
+
+let test_acap_flow_key_distinguishes_tags () =
+  let make_with_vlan vid =
+    let f =
+      Frame.make
+        [ eth; H.Vlan { pcp = 0; dei = false; vid }; ipv4 (); tcp ~dst_port:5201 ]
+        ~payload_len:0
+    in
+    Acap.of_frame ~ts:0.0 f
+  in
+  let k1 = Acap.flow_key (make_with_vlan 10) in
+  let k2 = Acap.flow_key (make_with_vlan 20) in
+  Alcotest.(check bool) "keys exist" true (k1 <> None && k2 <> None);
+  Alcotest.(check bool) "same 5-tuple, different vlan => different flow" true (k1 <> k2);
+  let k3 = Acap.flow_key (make_with_vlan 10) in
+  Alcotest.(check bool) "deterministic" true (k1 = k3)
+
+let test_acap_rst_flag () =
+  let f =
+    Frame.make
+      [ eth; ipv4 ();
+        H.Tcp
+          { src_port = 1; dst_port = 2; seq = 0l; ack_seq = 0l;
+            flags = H.flags_rst; window = 0 } ]
+      ~payload_len:0
+  in
+  let r = Acap.of_frame ~ts:0.0 f in
+  Alcotest.(check bool) "rst seen" true r.Acap.tcp_rst
+
+let test_acap_no_l3 () =
+  let f =
+    Frame.make
+      [ eth;
+        H.Arp
+          { operation = `Request;
+            sender_mac = Netcore.Mac.zero; sender_ip = Netcore.Ipv4_addr.of_string "0.0.0.0";
+            target_mac = Netcore.Mac.zero; target_ip = Netcore.Ipv4_addr.of_string "0.0.0.0" } ]
+      ~payload_len:0
+  in
+  let r = Acap.of_frame ~ts:0.0 f in
+  Alcotest.(check (option string)) "no flow key" None (Acap.flow_key r)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"dissect inverts encode (headers)" ~count:500
+      (Frame_gen.frame_arb ())
+      (fun f ->
+        let d = Dissector.dissect (Codec.encode f) in
+        d.Dissector.headers = f.Frame.headers);
+    Test.make ~name:"dissect inverts encode (payload, unpadded frames)" ~count:500
+      (Frame_gen.frame_arb ())
+      (fun f ->
+        let d = Dissector.dissect (Codec.encode f) in
+        (* Padded frames without an IP extent can over-count payload; IP
+           is always present in generated stacks, so equality holds. *)
+        d.Dissector.payload_len = f.Frame.payload_len);
+    Test.make ~name:"dissection of snapped frames never raises" ~count:500
+      (pair (Frame_gen.frame_arb ()) (int_range 1 120))
+      (fun (f, snap) ->
+        let b = Codec.encode f in
+        let snap = min snap (Bytes.length b) in
+        let d = Dissector.dissect ~orig_len:(Bytes.length b) (Bytes.sub b 0 snap) in
+        List.length d.Dissector.headers <= List.length f.Frame.headers);
+    Test.make ~name:"acap line roundtrip" ~count:300
+      (Frame_gen.frame_arb ())
+      (fun f ->
+        let r = Acap.of_frame ~ts:123.456 f in
+        match Acap.of_line (Acap.to_line r) with
+        | Ok r' -> r' = r
+        | Error _ -> false);
+  ]
+
+let suites =
+  [
+    ( "dissect.roundtrip",
+      [
+        Alcotest.test_case "simple tcp" `Quick test_simple_tcp_roundtrip;
+        Alcotest.test_case "padding excluded via IP length" `Quick test_padding_not_counted_for_ip;
+        Alcotest.test_case "deep encapsulation" `Quick test_deep_encapsulation_roundtrip;
+        Alcotest.test_case "vxlan tunnel" `Quick test_vxlan_roundtrip;
+        Alcotest.test_case "arp" `Quick test_arp_roundtrip;
+      ] );
+    ( "dissect.classification",
+      [
+        Alcotest.test_case "app layers by port" `Quick test_app_layer_classification;
+        Alcotest.test_case "unknown port stays payload" `Quick test_no_app_on_unknown_port;
+      ] );
+    ( "dissect.robustness",
+      [
+        Alcotest.test_case "truncated capture" `Quick test_truncated_capture;
+        Alcotest.test_case "truncated mid-header" `Quick test_truncated_mid_header;
+        Alcotest.test_case "garbage input" `Quick test_garbage_input;
+        Alcotest.test_case "empty input" `Quick test_empty_input;
+      ] );
+    ( "dissect.acap",
+      [
+        Alcotest.test_case "abstraction fields" `Quick test_acap_of_frame;
+        Alcotest.test_case "line roundtrip" `Quick test_acap_line_roundtrip;
+        Alcotest.test_case "flow key uses tags" `Quick test_acap_flow_key_distinguishes_tags;
+        Alcotest.test_case "rst flag" `Quick test_acap_rst_flag;
+        Alcotest.test_case "no l3 no flow" `Quick test_acap_no_l3;
+      ] );
+    ("dissect.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

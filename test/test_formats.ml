@@ -1,0 +1,368 @@
+(* pcapng, NetFlow export, and the SVG chart layer. *)
+
+module H = Packet.Headers
+
+let sample_frames n =
+  let rng = Netcore.Rng.create 33 in
+  List.init n (fun i ->
+      (float_of_int i *. 0.001, Frame_gen.random_frame rng))
+
+(* --- pcapng --- *)
+
+let test_pcapng_roundtrip () =
+  let frames = sample_frames 20 in
+  let buf = Packet.Pcapng.writer_of_frames frames in
+  Alcotest.(check bool) "detected as pcapng" true (Packet.Pcapng.is_pcapng buf);
+  let packets = Packet.Pcapng.packets buf in
+  Alcotest.(check int) "count" 20 (List.length packets);
+  List.iter2
+    (fun (ts, frame) (p : Packet.Pcap.packet) ->
+      Alcotest.(check (float 2e-6)) "timestamp" ts p.Packet.Pcap.ts;
+      Alcotest.(check bytes) "bytes" (Packet.Codec.encode frame) p.Packet.Pcap.data)
+    frames packets
+
+let test_pcapng_snaplen () =
+  let frames = sample_frames 3 in
+  let buf = Packet.Pcapng.writer_of_frames ~snaplen:60 frames in
+  List.iter
+    (fun (p : Packet.Pcap.packet) ->
+      Alcotest.(check bool) "truncated" true (Bytes.length p.Packet.Pcap.data <= 60);
+      Alcotest.(check bool) "orig preserved" true (p.Packet.Pcap.orig_len >= 60))
+    (Packet.Pcapng.packets buf)
+
+let test_pcapng_vs_pcap_dispatch () =
+  let frames = sample_frames 5 in
+  let ng = Packet.Pcapng.writer_of_frames frames in
+  let classic =
+    let w = Packet.Pcap.Writer.create () in
+    List.iter (fun (ts, f) -> Packet.Pcap.Writer.add_frame w ~ts f) frames;
+    Packet.Pcap.Writer.contents w
+  in
+  Alcotest.(check bool) "classic not pcapng" false (Packet.Pcapng.is_pcapng classic);
+  Alcotest.(check int) "read_any classic" 5
+    (List.length (Packet.Pcapng.read_any classic));
+  Alcotest.(check int) "read_any ng" 5 (List.length (Packet.Pcapng.read_any ng))
+
+let test_pcapng_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Packet.Pcapng.packets (Bytes.make 32 '\x42'));
+       false
+     with Packet.Pcapng.Malformed _ -> true)
+
+let test_pcapng_digest_interop () =
+  (* The analysis pipeline should digest pcapng transparently. *)
+  let frames = sample_frames 10 in
+  let buf = Packet.Pcapng.writer_of_frames frames in
+  let acaps = Analysis.Digest.pcap_to_acaps buf in
+  Alcotest.(check int) "digested" 10 (List.length acaps)
+
+let qcheck_pcapng_roundtrip =
+  QCheck.Test.make ~name:"pcapng roundtrip preserves frames" ~count:100
+    (Frame_gen.frame_arb ()) (fun f ->
+      let buf = Packet.Pcapng.writer_of_frames [ (1.5, f) ] in
+      match Packet.Pcapng.packets buf with
+      | [ p ] -> Bytes.equal p.Packet.Pcap.data (Packet.Codec.encode f)
+      | _ -> false)
+
+(* --- NetFlow --- *)
+
+let iperf_template ~vlan ~src ~dst =
+  [
+    H.Ethernet
+      { src = Netcore.Mac.of_string "02:00:00:00:00:01";
+        dst = Netcore.Mac.of_string "02:00:00:00:00:02" };
+    H.Vlan { pcp = 0; dei = false; vid = vlan };
+    H.Ipv4
+      { src = Netcore.Ipv4_addr.of_string src;
+        dst = Netcore.Ipv4_addr.of_string dst;
+        dscp = 0; ttl = 64; ident = 0; dont_fragment = true };
+    H.Tcp
+      { src_port = 41000; dst_port = 5201; seq = 0l; ack_seq = 0l;
+        flags = H.flags_psh_ack; window = 512 };
+  ]
+
+let flow ~flow_id ~vlan ?(src = "10.0.1.10") ?(dst = "10.0.1.20") () =
+  Traffic.Flow_model.make ~flow_id ~template:(iperf_template ~vlan ~src ~dst)
+    ~frame_size:(Netcore.Dist.Constant 1000.0) ~avg_frame_size:1000.0
+    ~byte_rate:1e6 ~start_time:0.0 ~duration:100.0 ()
+
+let netflow_setup flows =
+  let engine = Simcore.Engine.create () in
+  let sw = Testbed.Switch.create engine ~site_name:"NF" ~ports:2 ~line_rate:100e9 in
+  List.iter
+    (fun (spec : Traffic.Flow_model.spec) ->
+      Testbed.Switch.attach_flow sw ~port:0 ~dir:Testbed.Switch.Rx
+        ~byte_rate:spec.Traffic.Flow_model.byte_rate
+        ~frame_rate:(Traffic.Flow_model.frame_rate spec)
+        ~flow:spec.Traffic.Flow_model.flow_id)
+    flows;
+  let resolver id =
+    List.find_opt
+      (fun (s : Traffic.Flow_model.spec) -> s.Traffic.Flow_model.flow_id = id)
+      flows
+  in
+  (sw, resolver)
+
+let test_netflow_merges_slices () =
+  let a = flow ~flow_id:1 ~vlan:100 () and b = flow ~flow_id:2 ~vlan:200 () in
+  let sw, resolver = netflow_setup [ a; b ] in
+  let records =
+    Traffic.Netflow.export ~resolver sw ~port:0 ~start_time:0.0 ~end_time:10.0
+  in
+  Alcotest.(check int) "two slices, one record" 1 (List.length records);
+  let r = List.hd records in
+  (* Bytes from both slices are conflated. *)
+  Alcotest.(check (float 1.0)) "merged bytes" 2e7 r.Traffic.Netflow.nf_bytes
+
+let test_netflow_separates_real_tuples () =
+  let a = flow ~flow_id:1 ~vlan:100 () in
+  let b = flow ~flow_id:2 ~vlan:100 ~dst:"10.0.1.30" () in
+  let sw, resolver = netflow_setup [ a; b ] in
+  let records =
+    Traffic.Netflow.export ~resolver sw ~port:0 ~start_time:0.0 ~end_time:10.0
+  in
+  Alcotest.(check int) "different tuples kept apart" 2 (List.length records)
+
+let test_netflow_window_clipping () =
+  let a = flow ~flow_id:1 ~vlan:100 () in
+  let sw, resolver = netflow_setup [ a ] in
+  match Traffic.Netflow.export ~resolver sw ~port:0 ~start_time:90.0 ~end_time:200.0 with
+  | [ r ] ->
+    (* Flow ends at t=100: only 10s overlap. *)
+    Alcotest.(check (float 1.0)) "clipped bytes" 1e7 r.Traffic.Netflow.nf_bytes;
+    Alcotest.(check (float 1e-9)) "last" 100.0 r.Traffic.Netflow.nf_last
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+let test_netflow_empty_window () =
+  let a = flow ~flow_id:1 ~vlan:100 () in
+  let sw, resolver = netflow_setup [ a ] in
+  Alcotest.(check int) "no overlap, no records" 0
+    (List.length
+       (Traffic.Netflow.export ~resolver sw ~port:0 ~start_time:200.0 ~end_time:300.0))
+
+(* --- SVG / charts --- *)
+
+let count_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_document_structure () =
+  let svg = Analysis.Svg.create ~width:100.0 ~height:50.0 in
+  Analysis.Svg.rect svg ~x:1.0 ~y:2.0 ~w:3.0 ~h:4.0 ();
+  Analysis.Svg.text svg ~x:5.0 ~y:6.0 "hello <world> & \"friends\"";
+  let s = Analysis.Svg.to_string svg in
+  Alcotest.(check bool) "xml decl" true (String.length s > 0 && s.[0] = '<');
+  Alcotest.(check int) "one closing svg" 1 (count_substring s "</svg>");
+  Alcotest.(check bool) "escaped" true
+    (count_substring s "&lt;world&gt; &amp; &quot;friends&quot;" = 1);
+  Alcotest.(check bool) "no raw angle" true (count_substring s "<world>" = 0)
+
+let test_bar_chart_elements () =
+  let svg =
+    Analysis.Charts.bar_chart ~title:"t" ~x_axis:"x"
+      ~y_axis:{ Analysis.Charts.label = "y"; log = false }
+      [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+  in
+  let s = Analysis.Svg.to_string svg in
+  (* Background + 3 bars. *)
+  Alcotest.(check int) "rects" 4 (count_substring s "<rect");
+  Alcotest.(check bool) "title present" true (count_substring s ">t</text>" = 1)
+
+let test_line_chart_series () =
+  let svg =
+    Analysis.Charts.line_chart ~title:"lines" ~x_axis:"x"
+      ~y_axis:{ Analysis.Charts.label = "y"; log = false }
+      [ ("s1", [ (0.0, 1.0); (1.0, 2.0) ]); ("s2", [ (0.0, 2.0); (1.0, 1.0) ]) ]
+  in
+  let s = Analysis.Svg.to_string svg in
+  Alcotest.(check int) "two polylines" 2 (count_substring s "<polyline");
+  Alcotest.(check bool) "legend" true (count_substring s ">s1</text>" = 1)
+
+let test_stacked_chart_heights () =
+  let svg =
+    Analysis.Charts.stacked_bar_chart ~title:"s" ~x_axis:"x"
+      ~y_axis:{ Analysis.Charts.label = "y"; log = false }
+      ~series:[ "p"; "q" ]
+      [ ("a", [ 1.0; 2.0 ]) ]
+  in
+  let s = Analysis.Svg.to_string svg in
+  (* Background + legend boxes (2) + 2 stacked segments. *)
+  Alcotest.(check int) "rects" 5 (count_substring s "<rect")
+
+let test_log_axis_chart () =
+  let svg =
+    Analysis.Charts.bar_chart ~title:"log" ~x_axis:"x"
+      ~y_axis:{ Analysis.Charts.label = "y"; log = true }
+      [ ("a", 5.0); ("b", 5000.0) ]
+  in
+  let s = Analysis.Svg.to_string svg in
+  Alcotest.(check bool) "rendered" true (count_substring s "<rect" >= 3)
+
+let test_profile_figures_written () =
+  (* A tiny synthetic profile via the builder API is enough to exercise
+     every chart path. *)
+  let dir = Filename.temp_file "patchwork_figs" "" in
+  Sys.remove dir;
+  let b = Analysis.Profile.Builder.create () in
+  let profile = Analysis.Profile.Builder.finish b in
+  let files = Analysis.Figures.write_profile_figures profile ~dir in
+  Alcotest.(check bool) "several figures" true (List.length files >= 5);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      Alcotest.(check bool) (f ^ " exists") true (Sys.file_exists path);
+      Sys.remove path)
+    files;
+  Sys.rmdir dir
+
+let suites =
+  [
+    ( "formats.pcapng",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_pcapng_roundtrip;
+        Alcotest.test_case "snaplen" `Quick test_pcapng_snaplen;
+        Alcotest.test_case "format dispatch" `Quick test_pcapng_vs_pcap_dispatch;
+        Alcotest.test_case "rejects garbage" `Quick test_pcapng_rejects_garbage;
+        Alcotest.test_case "digest interop" `Quick test_pcapng_digest_interop;
+        QCheck_alcotest.to_alcotest qcheck_pcapng_roundtrip;
+      ] );
+    ( "formats.netflow",
+      [
+        Alcotest.test_case "merges slices" `Quick test_netflow_merges_slices;
+        Alcotest.test_case "separates real tuples" `Quick test_netflow_separates_real_tuples;
+        Alcotest.test_case "window clipping" `Quick test_netflow_window_clipping;
+        Alcotest.test_case "empty window" `Quick test_netflow_empty_window;
+      ] );
+    ( "formats.svg",
+      [
+        Alcotest.test_case "document structure" `Quick test_svg_document_structure;
+        Alcotest.test_case "bar chart" `Quick test_bar_chart_elements;
+        Alcotest.test_case "line chart" `Quick test_line_chart_series;
+        Alcotest.test_case "stacked chart" `Quick test_stacked_chart_heights;
+        Alcotest.test_case "log axis" `Quick test_log_axis_chart;
+        Alcotest.test_case "profile figures" `Quick test_profile_figures_written;
+      ] );
+  ]
+
+(* Cross-cutting properties added late: anonymization composes with the
+   codec round-trip, and the scheduler never leaks switch sessions. *)
+
+let qcheck_anonymize_roundtrip =
+  QCheck.Test.make ~name:"anonymized frames re-dissect with identical stacks"
+    ~count:200 (Frame_gen.frame_arb ()) (fun f ->
+      let anon = Hostmodel.Anonymize.create ~key:77 in
+      let f' = Hostmodel.Anonymize.frame anon f in
+      let d = Dissect.Dissector.dissect (Packet.Codec.encode f') in
+      List.map Packet.Headers.name d.Dissect.Dissector.headers
+      = List.map Packet.Headers.name f.Packet.Frame.headers)
+
+let qcheck_scheduler_no_leaks =
+  QCheck.Test.make ~name:"mirror scheduler never leaks switch sessions" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Netcore.Rng.create seed in
+      let engine = Simcore.Engine.create () in
+      let sw = Testbed.Switch.create engine ~site_name:"L" ~ports:8 ~line_rate:1e11 in
+      let sched = Patchwork.Mirror_scheduler.create engine sw ~quantum:30.0 in
+      let users = [| "u1"; "u2"; "u3" |] in
+      let submitted = ref [] in
+      for step = 0 to 19 do
+        (match Netcore.Rng.int rng 3 with
+        | 0 ->
+          let user = Netcore.Rng.choice rng users in
+          let src = Netcore.Rng.int rng 4 in
+          let dst = 4 + Netcore.Rng.int rng 4 in
+          if not (List.mem (user, src) !submitted) then begin
+            Patchwork.Mirror_scheduler.submit sched ~user ~src_port:src ~dst_port:dst;
+            submitted := (user, src) :: !submitted
+          end
+        | 1 -> (
+          match !submitted with
+          | (user, src) :: rest ->
+            Patchwork.Mirror_scheduler.cancel sched ~user ~src_port:src;
+            submitted := rest
+          | [] -> ())
+        | _ -> ());
+        Simcore.Engine.schedule engine ~delay:(float_of_int (step + 1)) (fun _ -> ());
+        Simcore.Engine.run engine
+      done;
+      Patchwork.Mirror_scheduler.start sched ~until:(Simcore.Engine.now engine +. 90.0);
+      Simcore.Engine.run engine;
+      (* Every live switch session corresponds to a current grant. *)
+      Testbed.Switch.mirror_count sw
+      = List.length (Patchwork.Mirror_scheduler.current_grants sched))
+
+let suites =
+  suites
+  @ [
+      ( "formats.properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_anonymize_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_scheduler_no_leaks;
+        ] );
+    ]
+
+(* NetFlow conservation: however flows merge, total exported bytes must
+   equal the sum of per-flow bytes in the window. *)
+let qcheck_netflow_conservation =
+  QCheck.Test.make ~name:"netflow export conserves bytes" ~count:100
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, n_flows) ->
+      let rng = Netcore.Rng.create seed in
+      let flows =
+        List.init n_flows (fun i ->
+            flow ~flow_id:i
+              ~vlan:(100 + Netcore.Rng.int rng 5)
+              ~dst:(Printf.sprintf "10.0.1.%d" (20 + Netcore.Rng.int rng 3))
+              ())
+      in
+      let sw, resolver = netflow_setup flows in
+      let t0 = Netcore.Rng.float rng *. 50.0 in
+      let t1 = t0 +. (Netcore.Rng.float rng *. 100.0) in
+      let records =
+        Traffic.Netflow.export ~resolver sw ~port:0 ~start_time:t0 ~end_time:t1
+      in
+      let exported =
+        List.fold_left (fun acc r -> acc +. r.Traffic.Netflow.nf_bytes) 0.0 records
+      in
+      let expected =
+        List.fold_left
+          (fun acc (s : Traffic.Flow_model.spec) ->
+            let lo = Float.max t0 s.Traffic.Flow_model.start_time in
+            let hi = Float.min t1 (Traffic.Flow_model.end_time s) in
+            if hi > lo then acc +. (s.Traffic.Flow_model.byte_rate *. (hi -. lo))
+            else acc)
+          0.0 flows
+      in
+      Float.abs (exported -. expected) < 1e-6 *. Float.max 1.0 expected)
+
+let test_cdf_and_histogram_charts_render () =
+  let cdf =
+    Analysis.Charts.cdf_chart ~title:"cdf" ~x_axis:"hours"
+      [ (1.0, 0.1); (10.0, 0.5); (100.0, 1.0) ]
+  in
+  let s = Analysis.Svg.to_string cdf in
+  Alcotest.(check bool) "cdf polyline" true (count_substring s "<polyline" = 1);
+  Alcotest.(check bool) "cdf markers" true (count_substring s "<circle" = 3);
+  let h = Netcore.Histogram.create [| 10.0; 100.0 |] in
+  Netcore.Histogram.add h 5.0;
+  Netcore.Histogram.add h 50.0;
+  let hist = Analysis.Charts.histogram_chart ~title:"h" ~x_axis:"size" h in
+  Alcotest.(check bool) "histogram bars" true
+    (count_substring (Analysis.Svg.to_string hist) "<rect" >= 4)
+
+let suites =
+  suites
+  @ [
+      ( "formats.more",
+        [
+          QCheck_alcotest.to_alcotest qcheck_netflow_conservation;
+          Alcotest.test_case "cdf and histogram charts" `Quick
+            test_cdf_and_histogram_charts_render;
+        ] );
+    ]

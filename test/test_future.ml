@@ -1,0 +1,186 @@
+(* The future-work features: runtime autoscaling and shared mirror-port
+   scheduling. *)
+
+module Autoscaler = Patchwork.Autoscaler
+module Scheduler = Patchwork.Mirror_scheduler
+module Allocator = Testbed.Allocator
+module Fablib = Testbed.Fablib
+module Switch = Testbed.Switch
+
+let setup seed =
+  let engine = Simcore.Engine.create () in
+  let fabric = Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create fabric ~seed in
+  let site =
+    (List.hd (Testbed.Info_model.profilable_sites (Fablib.model fabric)))
+      .Testbed.Info_model.name
+  in
+  (engine, fabric, driver, site)
+
+let fast_config =
+  {
+    Patchwork.Config.default with
+    Patchwork.Config.samples_per_run = 2;
+    max_frames_per_sample = 5;
+    instance_crash_prob = 0.0;
+  }
+
+let make_scaler ?(policy = Autoscaler.default_policy) (engine, fabric, driver, site) =
+  ignore engine;
+  Autoscaler.create ~fabric ~resolver:(Traffic.Driver.resolver driver)
+    ~config:fast_config ~log:(Patchwork.Logging.create ())
+    ~rng:(Netcore.Rng.create 4) ~site ~policy
+
+(* --- Autoscaler --- *)
+
+let test_autoscaler_scales_up_when_free () =
+  let ((engine, fabric, _, site) as ctx) = setup 61 in
+  let scaler =
+    make_scaler ~policy:{ Autoscaler.default_policy with Autoscaler.check_interval = 300.0 } ctx
+  in
+  Autoscaler.start scaler ~until:7200.0;
+  Simcore.Engine.run ~until:7200.0 engine;
+  Alcotest.(check bool) "grew beyond the floor" true (Autoscaler.live_instances scaler > 1);
+  Alcotest.(check bool) "scale-up events recorded" true
+    (List.exists
+       (function Autoscaler.Scaled_up _ -> true | _ -> false)
+       (Autoscaler.events scaler));
+  Alcotest.(check bool) "bounded by ceiling" true
+    (Autoscaler.live_instances scaler <= 4);
+  Autoscaler.shutdown scaler;
+  Alcotest.(check int) "all released" 0 (Autoscaler.live_instances scaler);
+  Alcotest.(check int) "slices returned" 0
+    (Allocator.active_slices (Fablib.allocator fabric));
+  ignore site
+
+let test_autoscaler_nice_backs_off () =
+  let ((engine, fabric, _, site) as ctx) = setup 62 in
+  let scaler =
+    make_scaler
+      ~policy:
+        { Autoscaler.default_policy with
+          Autoscaler.check_interval = 300.0; min_instances = 1; max_instances = 3 }
+      ctx
+  in
+  Autoscaler.start scaler ~until:14400.0;
+  (* Let it grow first, then squeeze the site. *)
+  Simcore.Engine.run ~until:3600.0 engine;
+  let grown = Autoscaler.live_instances scaler in
+  Simcore.Engine.schedule engine ~delay:1.0 (fun _ ->
+      Allocator.set_external_utilization (Fablib.allocator fabric) ~site 1.0);
+  Simcore.Engine.run ~until:14400.0 engine;
+  Alcotest.(check bool) "had grown" true (grown >= 2);
+  Alcotest.(check int) "niced back to the floor" 1 (Autoscaler.live_instances scaler);
+  Alcotest.(check bool) "scale-down events recorded" true
+    (List.exists
+       (function Autoscaler.Scaled_down _ -> true | _ -> false)
+       (Autoscaler.events scaler))
+
+let test_autoscaler_keeps_retired_samples () =
+  let ((engine, fabric, _, site) as ctx) = setup 63 in
+  let scaler =
+    make_scaler
+      ~policy:{ Autoscaler.default_policy with Autoscaler.check_interval = 600.0 }
+      ctx
+  in
+  Autoscaler.start scaler ~until:7200.0;
+  Simcore.Engine.run ~until:3600.0 engine;
+  Allocator.set_external_utilization (Fablib.allocator fabric) ~site 1.0;
+  Simcore.Engine.run ~until:7200.0 engine;
+  Alcotest.(check bool) "samples survive release" true
+    (List.length (Autoscaler.samples scaler) > 0);
+  Alcotest.(check bool) "slice-seconds accounted" true
+    (Autoscaler.slice_seconds scaler > 0.0)
+
+(* --- Mirror scheduler --- *)
+
+let sched_setup () =
+  let engine = Simcore.Engine.create () in
+  let sw = Switch.create engine ~site_name:"MS" ~ports:8 ~line_rate:100e9 in
+  let sched = Scheduler.create engine sw ~quantum:60.0 in
+  (engine, sw, sched)
+
+let test_scheduler_uncontended () =
+  let engine, _, sched = sched_setup () in
+  Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+  Scheduler.submit sched ~user:"bob" ~src_port:1 ~dst_port:5;
+  Scheduler.start sched ~until:600.0;
+  Simcore.Engine.run ~until:600.0 engine;
+  Alcotest.(check int) "both granted" 2 (List.length (Scheduler.current_grants sched));
+  Alcotest.(check bool) "both served" true
+    (Scheduler.service_time sched ~user:"alice" > 0.0
+    && Scheduler.service_time sched ~user:"bob" > 0.0)
+
+let test_scheduler_time_slices_contended_port () =
+  let engine, _, sched = sched_setup () in
+  (* Both users want port 0; each has their own NIC port. *)
+  Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+  Scheduler.submit sched ~user:"bob" ~src_port:0 ~dst_port:5;
+  Scheduler.start sched ~until:3600.0;
+  Simcore.Engine.run ~until:3600.0 engine;
+  Alcotest.(check int) "one grant at a time" 1
+    (List.length (Scheduler.current_grants sched));
+  let a = Scheduler.service_time sched ~user:"alice" in
+  let b = Scheduler.service_time sched ~user:"bob" in
+  Alcotest.(check bool) "both make progress" true (a > 0.0 && b > 0.0);
+  Alcotest.(check bool) "fair split" true (Scheduler.fairness sched > 0.95)
+
+let test_scheduler_cancel_revokes () =
+  let engine, sw, sched = sched_setup () in
+  Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+  Scheduler.start sched ~until:600.0;
+  Simcore.Engine.run ~until:120.0 engine;
+  Alcotest.(check int) "granted" 1 (List.length (Scheduler.current_grants sched));
+  Scheduler.cancel sched ~user:"alice" ~src_port:0;
+  Alcotest.(check int) "revoked" 0 (List.length (Scheduler.current_grants sched));
+  Alcotest.(check int) "switch session removed" 0 (Switch.mirror_count sw)
+
+let test_scheduler_duplicate_rejected () =
+  let _, _, sched = sched_setup () in
+  Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+       false
+     with Invalid_argument _ -> true)
+
+let test_scheduler_notifies_listeners () =
+  let engine, _, sched = sched_setup () in
+  let grants_seen = ref 0 and revokes_seen = ref 0 in
+  Scheduler.on_change sched (fun ~granted ~revoked ->
+      grants_seen := !grants_seen + List.length granted;
+      revokes_seen := !revokes_seen + List.length revoked);
+  Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
+  Scheduler.submit sched ~user:"bob" ~src_port:0 ~dst_port:5;
+  Scheduler.start sched ~until:1200.0;
+  Simcore.Engine.run ~until:1200.0 engine;
+  Alcotest.(check bool) "grant notifications" true (!grants_seen >= 2);
+  Alcotest.(check bool) "revocation notifications" true (!revokes_seen >= 1)
+
+let test_scheduler_three_way_fairness () =
+  let engine, _, sched = sched_setup () in
+  List.iteri
+    (fun i user -> Scheduler.submit sched ~user ~src_port:0 ~dst_port:(4 + i))
+    [ "a"; "b"; "c" ];
+  Scheduler.start sched ~until:(3.0 *. 3600.0);
+  Simcore.Engine.run ~until:(3.0 *. 3600.0) engine;
+  Alcotest.(check bool) "three-way fair" true (Scheduler.fairness sched > 0.95)
+
+let suites =
+  [
+    ( "future.autoscaler",
+      [
+        Alcotest.test_case "scales up when free" `Slow test_autoscaler_scales_up_when_free;
+        Alcotest.test_case "nice backs off" `Slow test_autoscaler_nice_backs_off;
+        Alcotest.test_case "retired samples kept" `Slow test_autoscaler_keeps_retired_samples;
+      ] );
+    ( "future.mirror_scheduler",
+      [
+        Alcotest.test_case "uncontended grants" `Quick test_scheduler_uncontended;
+        Alcotest.test_case "time slices contention" `Quick test_scheduler_time_slices_contended_port;
+        Alcotest.test_case "cancel revokes" `Quick test_scheduler_cancel_revokes;
+        Alcotest.test_case "duplicate rejected" `Quick test_scheduler_duplicate_rejected;
+        Alcotest.test_case "listener notifications" `Quick test_scheduler_notifies_listeners;
+        Alcotest.test_case "three-way fairness" `Quick test_scheduler_three_way_fairness;
+      ] );
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "patchwork"
+    (List.concat
+       [
+         Test_netcore.suites;
+         Test_packet.suites;
+         Test_dissect.suites;
+         Test_simcore.suites;
+         Test_testbed.suites;
+         Test_traffic.suites;
+         Test_hostmodel.suites;
+         Test_patchwork.suites;
+         Test_analysis.suites;
+         Test_extra.suites;
+         Test_p4.suites;
+         Test_formats.suites;
+         Test_iperf.suites;
+         Test_future.suites;
+       ])

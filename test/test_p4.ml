@@ -1,0 +1,205 @@
+module P4 = Hostmodel.P4_pipeline
+module H = Packet.Headers
+
+let frame ?(vlan = Some 100) ?(dst_port = 443) ?(payload = 100) () =
+  let base =
+    [
+      H.Ethernet
+        { src = Netcore.Mac.of_string "02:00:00:00:00:01";
+          dst = Netcore.Mac.of_string "02:00:00:00:00:02" };
+    ]
+  in
+  let tags =
+    match vlan with
+    | Some vid -> [ H.Vlan { pcp = 0; dei = false; vid } ]
+    | None -> []
+  in
+  let rest =
+    [
+      H.Ipv4
+        { src = Netcore.Ipv4_addr.of_string "10.5.0.1";
+          dst = Netcore.Ipv4_addr.of_string "10.5.0.2";
+          dscp = 0; ttl = 64; ident = 0; dont_fragment = false };
+      H.Tcp
+        { src_port = 50000; dst_port; seq = 0l; ack_seq = 0l;
+          flags = H.flags_psh_ack; window = 64 };
+    ]
+  in
+  Packet.Frame.make (base @ tags @ rest) ~payload_len:payload
+
+let test_field_extraction () =
+  let f = frame () in
+  Alcotest.(check int) "vlan" 100 (P4.eval_field P4.F_vlan_id f);
+  Alcotest.(check int) "no mpls" (-1) (P4.eval_field P4.F_mpls_label f);
+  Alcotest.(check int) "ip version" 4 (P4.eval_field P4.F_ip_version f);
+  Alcotest.(check int) "proto tcp" 6 (P4.eval_field P4.F_ip_proto f);
+  Alcotest.(check int) "dst port" 443 (P4.eval_field P4.F_dst_port f);
+  Alcotest.(check int) "depth" 4 (P4.eval_field P4.F_stack_depth f);
+  Alcotest.(check int) "has tcp token" 1 (P4.eval_field (P4.F_has_token "tcp") f);
+  Alcotest.(check int) "no dns token" 0 (P4.eval_field (P4.F_has_token "dns") f)
+
+let test_match_exprs () =
+  let f = frame () in
+  Alcotest.(check bool) "eq" true (P4.matches (P4.M_eq (P4.F_vlan_id, 100)) f);
+  Alcotest.(check bool) "range" true
+    (P4.matches (P4.M_range (P4.F_dst_port, 400, 500)) f);
+  Alcotest.(check bool) "not" false
+    (P4.matches (P4.M_not (P4.M_eq (P4.F_ip_version, 4))) f);
+  Alcotest.(check bool) "and/or" true
+    (P4.matches
+       (P4.M_and
+          (P4.M_eq (P4.F_ip_proto, 6),
+           P4.M_or (P4.M_eq (P4.F_dst_port, 80), P4.M_eq (P4.F_dst_port, 443))))
+       f)
+
+let test_first_match_wins () =
+  let pipeline =
+    P4.create
+      [
+        {
+          P4.table_name = "t";
+          entries =
+            [
+              { P4.matches = P4.M_eq (P4.F_dst_port, 443);
+                actions = [ P4.A_count "first"; P4.A_drop ] };
+              { P4.matches = P4.M_any; actions = [ P4.A_count "second" ] };
+            ];
+          default = [ P4.A_count "default" ];
+        };
+      ]
+  in
+  ignore (P4.process pipeline (frame ~dst_port:443 ()));
+  ignore (P4.process pipeline (frame ~dst_port:80 ()));
+  Alcotest.(check int) "first entry hit once" 1 (P4.counter pipeline "first");
+  Alcotest.(check int) "second entry hit once" 1 (P4.counter pipeline "second");
+  Alcotest.(check int) "default never" 0 (P4.counter pipeline "default")
+
+let test_drop_stops_pipeline () =
+  let pipeline =
+    P4.create
+      [
+        { P4.table_name = "a"; entries = []; default = [ P4.A_drop ] };
+        { P4.table_name = "b"; entries = []; default = [ P4.A_count "reached" ] };
+      ]
+  in
+  let v = P4.process pipeline (frame ()) in
+  Alcotest.(check bool) "dropped" true (v.P4.frame = None);
+  Alcotest.(check int) "second table not reached" 0 (P4.counter pipeline "reached")
+
+let test_accept_skips_rest () =
+  let pipeline =
+    P4.create
+      [
+        { P4.table_name = "a"; entries = []; default = [ P4.A_accept ] };
+        { P4.table_name = "b"; entries = []; default = [ P4.A_drop ] };
+      ]
+  in
+  let v = P4.process pipeline (frame ()) in
+  Alcotest.(check bool) "accepted despite later drop" true (v.P4.frame <> None)
+
+let test_truncate_caps_bytes () =
+  let pipeline =
+    P4.create [ { P4.table_name = "t"; entries = []; default = [ P4.A_truncate 64 ] } ]
+  in
+  let v = P4.process pipeline (frame ~payload:1000 ()) in
+  Alcotest.(check int) "64 bytes forwarded" 64 v.P4.forwarded_bytes;
+  (* Small frames forward their own size. *)
+  let v2 = P4.process pipeline (frame ~payload:0 ()) in
+  Alcotest.(check int) "small frame unchanged" 60 v2.P4.forwarded_bytes
+
+let test_systematic_sampling () =
+  let pipeline =
+    P4.create [ { P4.table_name = "s"; entries = []; default = [ P4.A_sample 5 ] } ]
+  in
+  let kept = ref 0 in
+  for _ = 1 to 50 do
+    if (P4.process pipeline (frame ())).P4.frame <> None then incr kept
+  done;
+  Alcotest.(check int) "exactly 1 in 5" 10 !kept
+
+let test_anonymize_action () =
+  let anon = Hostmodel.Anonymize.create ~key:3 in
+  let pipeline =
+    P4.create
+      [ { P4.table_name = "e"; entries = []; default = [ P4.A_anonymize anon ] } ]
+  in
+  match (P4.process pipeline (frame ())).P4.frame with
+  | None -> Alcotest.fail "frame dropped"
+  | Some out ->
+    let ip =
+      List.find_map
+        (function H.Ipv4 ip -> Some ip | _ -> None)
+        out.Packet.Frame.headers
+    in
+    (match ip with
+    | Some ip ->
+      Alcotest.(check bool) "rewritten" false
+        (Netcore.Ipv4_addr.equal ip.H.src (Netcore.Ipv4_addr.of_string "10.5.0.1"))
+    | None -> Alcotest.fail "no ipv4")
+
+let test_compile_filter_equivalence () =
+  (* On tag/port/protocol filters, pipeline matching must agree with the
+     host-side filter evaluator. *)
+  let exprs =
+    [ "tcp"; "udp"; "ip"; "ip6"; "vlan 100"; "vlan 9"; "port 443"; "dst port 443";
+      "src port 443"; "tcp and vlan 100"; "not udp"; "udp or port 443";
+      "greater 100"; "less 100"; "tls"; "mpls" ]
+  in
+  let frames = [ frame (); frame ~vlan:None ~dst_port:80 (); frame ~payload:0 () ] in
+  List.iter
+    (fun expr ->
+      match Packet.Filter.parse expr with
+      | Error m -> Alcotest.failf "parse %s: %s" expr m
+      | Ok f ->
+        let m = P4.Compile.filter_to_match f in
+        List.iter
+          (fun fr ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s agrees" expr)
+              (Packet.Filter.matches f fr) (P4.matches m fr))
+          frames)
+    exprs
+
+let test_compiled_offload_counts () =
+  let filter =
+    match Packet.Filter.parse "port 443" with Ok f -> f | Error m -> failwith m
+  in
+  let pipeline = P4.Compile.of_filter ~truncation:128 ~sample_1_in:2 filter in
+  Alcotest.(check int) "three stages" 3 (P4.stage_count pipeline);
+  let kept = ref 0 in
+  for i = 1 to 20 do
+    let dst_port = if i mod 2 = 0 then 443 else 80 in
+    if (P4.process pipeline (frame ~dst_port ())).P4.frame <> None then incr kept
+  done;
+  Alcotest.(check int) "matched counter" 10 (P4.counter pipeline "filter.matched");
+  Alcotest.(check int) "dropped counter" 10 (P4.counter pipeline "filter.dropped");
+  Alcotest.(check int) "sampled half of matches" 5 (P4.counter pipeline "sample.kept");
+  Alcotest.(check int) "kept" 5 !kept
+
+let qcheck_pipeline_filter_agreement =
+  QCheck.Test.make ~name:"compiled pipeline agrees with filter on generated frames"
+    ~count:300 (Frame_gen.frame_arb ()) (fun f ->
+      let filter =
+        Packet.Filter.And
+          (Packet.Filter.Proto "tcp", Packet.Filter.Not (Packet.Filter.Vlan None))
+      in
+      let m = P4.Compile.filter_to_match filter in
+      P4.matches m f = Packet.Filter.matches filter f)
+
+let suites =
+  [
+    ( "p4.pipeline",
+      [
+        Alcotest.test_case "field extraction" `Quick test_field_extraction;
+        Alcotest.test_case "match expressions" `Quick test_match_exprs;
+        Alcotest.test_case "first match wins" `Quick test_first_match_wins;
+        Alcotest.test_case "drop stops pipeline" `Quick test_drop_stops_pipeline;
+        Alcotest.test_case "accept skips rest" `Quick test_accept_skips_rest;
+        Alcotest.test_case "truncate caps bytes" `Quick test_truncate_caps_bytes;
+        Alcotest.test_case "systematic sampling" `Quick test_systematic_sampling;
+        Alcotest.test_case "anonymize action" `Quick test_anonymize_action;
+        Alcotest.test_case "filter compile equivalence" `Quick test_compile_filter_equivalence;
+        Alcotest.test_case "compiled offload counters" `Quick test_compiled_offload_counts;
+        QCheck_alcotest.to_alcotest qcheck_pipeline_filter_agreement;
+      ] );
+  ]

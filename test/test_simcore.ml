@@ -1,0 +1,160 @@
+module Engine = Simcore.Engine
+module Timeseries = Simcore.Timeseries
+
+let test_engine_ordering () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  Engine.schedule engine ~delay:3.0 (fun _ -> order := "c" :: !order);
+  Engine.schedule engine ~delay:1.0 (fun _ -> order := "a" :: !order);
+  Engine.schedule engine ~delay:2.0 (fun _ -> order := "b" :: !order);
+  Engine.run engine;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_engine_fifo_ties () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule engine ~delay:1.0 (fun _ -> order := i :: !order)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_clock_advances () =
+  let engine = Engine.create ~start_time:100.0 () in
+  let seen = ref 0.0 in
+  Engine.schedule engine ~delay:5.5 (fun e -> seen := Engine.now e);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "clock at event" 105.5 !seen;
+  Alcotest.(check (float 1e-9)) "clock after run" 105.5 (Engine.now engine)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Engine.schedule engine ~delay:d (fun _ -> fired := d :: !fired))
+    [ 1.0; 2.0; 10.0 ];
+  Engine.run ~until:5.0 engine;
+  Alcotest.(check (list (float 1e-9))) "only early events" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock clamped" 5.0 (Engine.now engine);
+  Alcotest.(check int) "one pending" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "late event fires" 3 (List.length !fired)
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    if !count < 10 then Engine.schedule e ~delay:1.0 tick
+  in
+  Engine.schedule engine ~delay:1.0 tick;
+  Engine.run engine;
+  Alcotest.(check int) "chain of 10" 10 !count;
+  Alcotest.(check (float 1e-9)) "final time" 10.0 (Engine.now engine)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule_id engine ~delay:1.0 (fun _ -> fired := true) in
+  Engine.cancel engine id;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_negative_delay_rejected () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule engine ~delay:(-1.0) (fun _ -> ()))
+
+let test_engine_every () =
+  let engine = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every engine ~period:2.0 ~until:9.0 (fun _ -> incr ticks);
+  Engine.run ~until:30.0 engine;
+  (* Fires at 2,4,6,8 and once more at 10 (checked against until before
+     running); run is bounded anyway. *)
+  Alcotest.(check bool) "about 4-5 ticks" true (!ticks >= 4 && !ticks <= 5)
+
+let test_engine_heap_stress () =
+  let engine = Engine.create () in
+  let rng = Netcore.Rng.create 99 in
+  let last = ref 0.0 and count = ref 0 in
+  for _ = 1 to 10_000 do
+    let d = Netcore.Rng.float rng *. 1000.0 in
+    Engine.schedule engine ~delay:d (fun e ->
+        incr count;
+        let now = Engine.now e in
+        Alcotest.(check bool) "monotonic" true (now >= !last);
+        last := now)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all fired" 10_000 !count
+
+(* --- Timeseries --- *)
+
+let test_ts_append_and_range () =
+  let ts = Timeseries.create () in
+  for i = 0 to 9 do
+    Timeseries.append ts ~key:"a" ~time:(float_of_int i) (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "length" 10 (Timeseries.length ts ~key:"a");
+  let r = Timeseries.range ts ~key:"a" ~start_time:3.0 ~end_time:6.0 in
+  Alcotest.(check int) "range size" 4 (List.length r);
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "last"
+    (Some (9.0, 81.0)) (Timeseries.last ts ~key:"a")
+
+let test_ts_monotonic_enforced () =
+  let ts = Timeseries.create () in
+  Timeseries.append ts ~key:"a" ~time:5.0 1.0;
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Timeseries.append: time went backwards") (fun () ->
+      Timeseries.append ts ~key:"a" ~time:4.0 2.0)
+
+let test_ts_rate () =
+  let ts = Timeseries.create () in
+  (* Counter increasing 100 bytes/s. *)
+  for i = 0 to 10 do
+    Timeseries.append ts ~key:"ctr" ~time:(float_of_int (i * 10))
+      (float_of_int (i * 1000))
+  done;
+  match Timeseries.rate ts ~key:"ctr" ~window:50.0 ~at:100.0 with
+  | None -> Alcotest.fail "expected a rate"
+  | Some r -> Alcotest.(check (float 1e-6)) "rate" 100.0 r
+
+let test_ts_rate_insufficient () =
+  let ts = Timeseries.create () in
+  Timeseries.append ts ~key:"x" ~time:0.0 5.0;
+  Alcotest.(check (option (float 1.0))) "one sample" None
+    (Timeseries.rate ts ~key:"x" ~window:10.0 ~at:5.0);
+  Alcotest.(check (option (float 1.0))) "missing key" None
+    (Timeseries.rate ts ~key:"y" ~window:10.0 ~at:5.0)
+
+let test_ts_keys () =
+  let ts = Timeseries.create () in
+  Timeseries.append ts ~key:"b" ~time:0.0 0.0;
+  Timeseries.append ts ~key:"a" ~time:0.0 0.0;
+  Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ] (Timeseries.keys ts)
+
+let suites =
+  [
+    ( "simcore.engine",
+      [
+        Alcotest.test_case "event ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "clock advance" `Quick test_engine_clock_advances;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+        Alcotest.test_case "every" `Quick test_engine_every;
+        Alcotest.test_case "heap stress" `Quick test_engine_heap_stress;
+      ] );
+    ( "simcore.timeseries",
+      [
+        Alcotest.test_case "append and range" `Quick test_ts_append_and_range;
+        Alcotest.test_case "monotonic time" `Quick test_ts_monotonic_enforced;
+        Alcotest.test_case "counter rate" `Quick test_ts_rate;
+        Alcotest.test_case "rate edge cases" `Quick test_ts_rate_insufficient;
+        Alcotest.test_case "sorted keys" `Quick test_ts_keys;
+      ] );
+  ]
