@@ -29,6 +29,7 @@ let experiments =
     ("figures", Fig_svg.run);
     ("netflow", Netflow_cmp.run);
     ("lessons", Lessons.run);
+    ("parallel", Parallel_bench.run);
     ("bechamel", Micro.run);
   ]
 

@@ -1,0 +1,80 @@
+(* Sequential vs N-domain wall-clock on the two offline hot paths —
+   pcap digestion and weighted flow aggregation — plus the determinism
+   check the pool guarantees: parallel output must equal the sequential
+   output exactly, whatever the pool size.
+
+   Environment knobs (for CI smoke runs):
+     PATCHWORK_BENCH_FRAMES   synthetic pcap size (default 30000)
+     PATCHWORK_BENCH_DOMAINS  comma-separated pool sizes (default 2,4) *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let pool_sizes () =
+  match Sys.getenv_opt "PATCHWORK_BENCH_DOMAINS" with
+  | Some s ->
+    let sizes = List.filter_map int_of_string_opt (String.split_on_char ',' s) in
+    if sizes = [] then [ 2; 4 ] else sizes
+  | None -> [ 2; 4 ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run () =
+  let frames = getenv_int "PATCHWORK_BENCH_FRAMES" 30_000 in
+  let sizes = pool_sizes () in
+  let rng = Netcore.Rng.create 42 in
+  (* A fixed population of flows (frame templates) so aggregation sees
+     realistic key repetition rather than one flow per frame. *)
+  let templates = Array.init 256 (fun _ -> Frame_samples.random rng) in
+  let w = Packet.Pcap.Writer.create () in
+  for i = 0 to frames - 1 do
+    Packet.Pcap.Writer.add_frame w
+      ~ts:(float_of_int i *. 1e-4)
+      (Netcore.Rng.choice rng templates)
+  done;
+  let buf = Packet.Pcap.Writer.contents w in
+  Printf.printf "== parallel: digest + flow aggregation speedup ==\n";
+  Printf.printf "workload: %d frames, %.1f MB pcap, %d cores available\n%!" frames
+    (float_of_int (Bytes.length buf) /. 1e6)
+    (Domain.recommended_domain_count ());
+  (* Digest: pcap -> acap dissection. *)
+  let seq_acaps, t_seq = time (fun () -> Analysis.Digest.pcap_to_acaps buf) in
+  Printf.printf "digest       %2d domain(s)  %7.3f s\n%!" 1 t_seq;
+  List.iter
+    (fun n ->
+      Parallel.Pool.with_pool ~size:n (fun pool ->
+          let acaps, t =
+            time (fun () -> Analysis.Digest.pcap_to_acaps ~pool buf)
+          in
+          Printf.printf "digest       %2d domain(s)  %7.3f s  %5.2fx  identical=%b\n%!"
+            n t (t_seq /. Float.max 1e-9 t)
+            (acaps = seq_acaps)))
+    sizes;
+  (* Flow aggregation: per-sample groups with mixed sampling fractions,
+     replicated so the table work dominates timer noise. *)
+  let base_groups =
+    List.mapi
+      (fun i chunk -> (chunk, if i mod 3 = 0 then 0.5 else 1.0))
+      (Parallel.Pool.chunk ~chunk_size:2_000 seq_acaps)
+  in
+  let groups = List.concat (List.init 10 (fun _ -> base_groups)) in
+  let seq_flows, t_seq =
+    time (fun () -> Analysis.Flows.aggregate ~weights:groups [])
+  in
+  Printf.printf "flows        %2d domain(s)  %7.3f s  (%d groups, %d flows)\n%!" 1
+    t_seq (List.length groups) (List.length seq_flows);
+  List.iter
+    (fun n ->
+      Parallel.Pool.with_pool ~size:n (fun pool ->
+          let flows, t =
+            time (fun () -> Analysis.Flows.aggregate ~pool ~weights:groups [])
+          in
+          Printf.printf "flows        %2d domain(s)  %7.3f s  %5.2fx  identical=%b\n%!"
+            n t (t_seq /. Float.max 1e-9 t)
+            (flows = seq_flows)))
+    sizes

@@ -17,6 +17,20 @@ let seed_arg =
   let doc = "Seed for the deterministic simulation." in
   Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domains for the offline pipeline (digest, flow aggregation, \
+     gathering).  Results are identical at any value; only wall-clock \
+     changes.  Defaults to the machine's core count minus one."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let with_domains domains f =
+  let size =
+    match domains with Some n -> max 1 n | None -> Parallel.Pool.default_size ()
+  in
+  Parallel.Pool.with_pool ~size f
+
 (* --- profile --- *)
 
 let profile_cmd =
@@ -39,7 +53,8 @@ let profile_cmd =
     let doc = "Materialization budget per 20s sample." in
     Arg.(value & opt int 5000 & info [ "max-frames" ] ~docv:"N" ~doc)
   in
-  let run seed hours site csv_dir max_frames =
+  let run seed hours site csv_dir max_frames domains =
+    with_domains domains @@ fun pool ->
     let start_time = 100.0 *. Netcore.Timebase.day in
     let engine = Simcore.Engine.create ~start_time () in
     let fabric = Testbed.Fablib.create ~seed engine in
@@ -57,11 +72,12 @@ let profile_cmd =
         Patchwork.Config.mode;
         max_frames_per_sample = max_frames;
         samples_per_run = 4;
+        pool_size = Parallel.Pool.size pool;
       }
     in
     let report =
-      Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~start_time
-        ~duration:(hours *. Netcore.Timebase.hour) ()
+      Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
+        ~start_time ~duration:(hours *. Netcore.Timebase.hour) ()
     in
     List.iter
       (fun (s : Patchwork.Coordinator.site_report) ->
@@ -73,7 +89,7 @@ let profile_cmd =
           | Patchwork.Coordinator.Site_incomplete m -> "incomplete: " ^ m)
           (List.length s.Patchwork.Coordinator.site_samples))
       report.Patchwork.Coordinator.sites;
-    let profile = Analysis.Profile.of_reports [ report ] in
+    let profile = Analysis.Profile.of_reports ~pool [ report ] in
     Format.printf "%a" Analysis.Profile.pp_summary profile;
     match csv_dir with
     | None -> ()
@@ -84,7 +100,8 @@ let profile_cmd =
   let info =
     Cmd.info "profile" ~doc:"Run a profiling occasion on the simulated federation"
   in
-  Cmd.v info Term.(const run $ seed_arg $ hours $ site $ csv_dir $ max_frames)
+  Cmd.v info
+    Term.(const run $ seed_arg $ hours $ site $ csv_dir $ max_frames $ domains_arg)
 
 (* --- dissect --- *)
 
@@ -95,8 +112,9 @@ let dissect_cmd =
   let limit =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Records to print.")
   in
-  let run file limit =
-    let acaps = Analysis.Digest.pcap_file_to_acaps file in
+  let run file limit domains =
+    with_domains domains @@ fun pool ->
+    let acaps = Analysis.Digest.pcap_file_to_acaps ~pool file in
     Printf.printf "%d packets\n" (List.length acaps);
     List.iteri
       (fun i r ->
@@ -107,7 +125,7 @@ let dissect_cmd =
     List.iter (fun (tok, pct) -> Printf.printf "  %-10s %6.2f%%\n" tok pct) occ
   in
   let info = Cmd.info "dissect" ~doc:"Dissect a pcap file into abstract captures" in
-  Cmd.v info Term.(const run $ file $ limit)
+  Cmd.v info Term.(const run $ file $ limit $ domains_arg)
 
 (* --- generate --- *)
 
@@ -169,8 +187,9 @@ let analyze_cmd =
   let csv_dir =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
   in
-  let run file csv_dir =
-    let acaps = Analysis.Digest.pcap_file_to_acaps file in
+  let run file csv_dir domains =
+    with_domains domains @@ fun pool ->
+    let acaps = Analysis.Digest.pcap_file_to_acaps ~pool file in
     let occ = Analysis.Analyze.occurrence acaps in
     let h = Analysis.Analyze.frame_size_histogram acaps in
     Printf.printf "%d frames, %d distinct flows, %.2f%% IPv6, %.1f%% jumbo\n"
@@ -198,7 +217,7 @@ let analyze_cmd =
       Printf.printf "wrote CSVs under %s\n" dir
   in
   let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
-  Cmd.v info Term.(const run $ file $ csv_dir)
+  Cmd.v info Term.(const run $ file $ csv_dir $ domains_arg)
 
 (* --- weekly --- *)
 
@@ -219,9 +238,11 @@ let weekly_cmd =
       value & opt string "weekly-profile"
       & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for CSVs and figures.")
   in
-  let run seed weeks start_day hours out =
+  let run seed weeks start_day hours out domains =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
-       cumulative testbed-wide profile (the public dashboard's data). *)
+       cumulative testbed-wide profile (the public dashboard's data).
+       One pool serves every occasion. *)
+    with_domains domains @@ fun pool ->
     let builder = Analysis.Profile.Builder.create () in
     for w = 0 to weeks - 1 do
       let day = start_day + (7 * w) in
@@ -234,11 +255,12 @@ let weekly_cmd =
           Patchwork.Config.default with
           Patchwork.Config.samples_per_run = 4;
           max_frames_per_sample = 3000;
+          pool_size = Parallel.Pool.size pool;
         }
       in
       let report =
-        Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~start_time
-          ~duration:(hours *. Netcore.Timebase.hour) ()
+        Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
+          ~start_time ~duration:(hours *. Netcore.Timebase.hour) ()
       in
       let ok =
         List.length
@@ -254,7 +276,7 @@ let weekly_cmd =
       Printf.printf "week of day %3d: %d/%d sites profiled, %d samples\n%!" day ok
         (List.length report.Patchwork.Coordinator.sites)
         (List.length (Patchwork.Coordinator.all_samples report));
-      Analysis.Profile.Builder.add_report builder report
+      Analysis.Profile.Builder.add_report ~pool builder report
     done;
     let profile = Analysis.Profile.Builder.finish builder in
     Format.printf "%a" Analysis.Profile.pp_summary profile;
@@ -267,7 +289,8 @@ let weekly_cmd =
     Cmd.info "weekly"
       ~doc:"Run the weekly profiling service and refresh the cumulative profile"
   in
-  Cmd.v info Term.(const run $ seed_arg $ weeks $ start_day $ hours $ out)
+  Cmd.v info
+    Term.(const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg)
 
 (* --- release --- *)
 

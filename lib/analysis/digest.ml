@@ -1,8 +1,11 @@
-let pcap_to_acaps buf =
-  (* Accepts both classic pcap and pcapng. *)
-  List.map Dissect.Acap.of_packet (Packet.Pcapng.read_any buf)
+let pcap_to_acaps ?(pool = Parallel.Pool.sequential) buf =
+  (* Accepts both classic pcap and pcapng.  Parsing the container is
+     cheap and stays sequential; per-packet dissection — the hot part —
+     fans out over the pool.  Dissection is pure and the map preserves
+     packet order, so the output is identical at any pool size. *)
+  Parallel.Pool.map pool Dissect.Acap.of_packet (Packet.Pcapng.read_any buf)
 
-let pcap_file_to_acaps path =
+let pcap_file_to_acaps ?pool path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -10,11 +13,11 @@ let pcap_file_to_acaps path =
       let len = in_channel_length ic in
       let buf = Bytes.create len in
       really_input ic buf 0 len;
-      pcap_to_acaps buf)
+      pcap_to_acaps ?pool buf)
 
-let sample_acaps (sample : Patchwork.Capture.sample) =
+let sample_acaps ?pool (sample : Patchwork.Capture.sample) =
   match sample.Patchwork.Capture.pcap with
-  | Some buf -> pcap_to_acaps buf
+  | Some buf -> pcap_to_acaps ?pool buf
   | None -> sample.Patchwork.Capture.acaps
 
 let write_acap_file path records =

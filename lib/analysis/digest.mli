@@ -5,13 +5,16 @@
     expensive step of the paper's offline pipeline ("most of this time
     is taken up by Wireshark's protocol dissectors"). *)
 
-val pcap_to_acaps : bytes -> Dissect.Acap.record list
+val pcap_to_acaps : ?pool:Parallel.Pool.t -> bytes -> Dissect.Acap.record list
 (** Dissect every packet of an in-memory capture (classic pcap or
-    pcapng, detected from the magic number). *)
+    pcapng, detected from the magic number).  With a pool, per-packet
+    dissection runs across domains; record order (and content) is
+    identical to the sequential run. *)
 
-val pcap_file_to_acaps : string -> Dissect.Acap.record list
+val pcap_file_to_acaps : ?pool:Parallel.Pool.t -> string -> Dissect.Acap.record list
 
-val sample_acaps : Patchwork.Capture.sample -> Dissect.Acap.record list
+val sample_acaps :
+  ?pool:Parallel.Pool.t -> Patchwork.Capture.sample -> Dissect.Acap.record list
 (** The abstract records of a sample: digested from its pcap bytes when
     it carries them (validating the full pipeline), else the records the
     capture already abstracted in-line. *)

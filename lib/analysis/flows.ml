@@ -1,54 +1,105 @@
 type summary = {
   flow_key : string;
-  frames : int;
+  frames : float;
   bytes : float;
   first_seen : float;
   last_seen : float;
   rst_seen : bool;
 }
 
+(* Per-group shard: plain integer sums, exact by construction.  The
+   group's sampling weight is applied once at merge time, so a
+   fraction of 1.0 stays on an exact-integer path end to end. *)
+type shard = {
+  mutable s_frames : int;
+  mutable s_bytes : int;
+  mutable s_first : float;
+  mutable s_last : float;
+  mutable s_rst : bool;
+}
+
 type acc = {
-  mutable a_frames : int;
+  mutable a_frames : float;
   mutable a_bytes : float;
   mutable a_first : float;
   mutable a_last : float;
   mutable a_rst : bool;
 }
 
-let aggregate_weighted groups =
+let shard_group (records, fraction) =
+  let table : (string, shard) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (r : Dissect.Acap.record) ->
+      match Dissect.Acap.flow_key r with
+      | None -> ()
+      | Some key ->
+        let entry =
+          match Hashtbl.find_opt table key with
+          | Some e -> e
+          | None ->
+            let e =
+              {
+                s_frames = 0;
+                s_bytes = 0;
+                s_first = r.Dissect.Acap.ts;
+                s_last = r.Dissect.Acap.ts;
+                s_rst = false;
+              }
+            in
+            Hashtbl.add table key e;
+            e
+        in
+        entry.s_frames <- entry.s_frames + 1;
+        entry.s_bytes <- entry.s_bytes + r.Dissect.Acap.orig_len;
+        entry.s_first <- Float.min entry.s_first r.Dissect.Acap.ts;
+        entry.s_last <- Float.max entry.s_last r.Dissect.Acap.ts;
+        entry.s_rst <- entry.s_rst || r.Dissect.Acap.tcp_rst)
+    records;
+  (table, fraction)
+
+(* Sharding is per group (one capture sample = one shard task) and the
+   merge walks shards in group order, so the result is identical
+   whatever the pool size — including the sequential fallback. *)
+let aggregate_weighted ?(pool = Parallel.Pool.sequential) groups =
+  let shards = Parallel.Pool.map pool shard_group groups in
   let table : (string, acc) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
-    (fun (records, fraction) ->
+    (fun (shard, fraction) ->
       let weight = if fraction > 0.0 then 1.0 /. fraction else 1.0 in
-      List.iter
-        (fun (r : Dissect.Acap.record) ->
-          match Dissect.Acap.flow_key r with
-          | None -> ()
-          | Some key ->
-            let entry =
-              match Hashtbl.find_opt table key with
-              | Some e -> e
-              | None ->
-                let e =
-                  {
-                    a_frames = 0;
-                    a_bytes = 0.0;
-                    a_first = r.Dissect.Acap.ts;
-                    a_last = r.Dissect.Acap.ts;
-                    a_rst = false;
-                  }
-                in
-                Hashtbl.add table key e;
-                e
-            in
-            entry.a_frames <- entry.a_frames + 1;
-            entry.a_bytes <-
-              entry.a_bytes +. (float_of_int r.Dissect.Acap.orig_len *. weight);
-            entry.a_first <- Float.min entry.a_first r.Dissect.Acap.ts;
-            entry.a_last <- Float.max entry.a_last r.Dissect.Acap.ts;
-            entry.a_rst <- entry.a_rst || r.Dissect.Acap.tcp_rst)
-        records)
-    groups;
+      let exact = weight = 1.0 in
+      Hashtbl.iter
+        (fun key (s : shard) ->
+          let entry =
+            match Hashtbl.find_opt table key with
+            | Some e -> e
+            | None ->
+              let e =
+                {
+                  a_frames = 0.0;
+                  a_bytes = 0.0;
+                  a_first = s.s_first;
+                  a_last = s.s_last;
+                  a_rst = false;
+                }
+              in
+              Hashtbl.add table key e;
+              e
+          in
+          (* A thinned capture under-counts both bytes and frames: scale
+             both by the inverse materialized fraction. *)
+          if exact then begin
+            entry.a_frames <- entry.a_frames +. float_of_int s.s_frames;
+            entry.a_bytes <- entry.a_bytes +. float_of_int s.s_bytes
+          end
+          else begin
+            entry.a_frames <- entry.a_frames +. (float_of_int s.s_frames *. weight);
+            entry.a_bytes <- entry.a_bytes +. (float_of_int s.s_bytes *. weight)
+          end;
+          entry.a_first <- Float.min entry.a_first s.s_first;
+          entry.a_last <- Float.max entry.a_last s.s_last;
+          entry.a_rst <- entry.a_rst || s.s_rst)
+        shard)
+    shards;
   Hashtbl.fold
     (fun key e acc ->
       {
@@ -63,13 +114,13 @@ let aggregate_weighted groups =
     table []
   |> List.sort (fun a b -> compare b.bytes a.bytes)
 
-let aggregate ?weights records =
+let aggregate ?pool ?weights records =
   match weights with
-  | Some groups -> aggregate_weighted groups
-  | None -> aggregate_weighted [ (records, 1.0) ]
+  | Some groups -> aggregate_weighted ?pool groups
+  | None -> aggregate_weighted ?pool [ (records, 1.0) ]
 
-let of_samples samples =
-  aggregate_weighted
+let of_samples ?pool samples =
+  aggregate_weighted ?pool
     (List.map
        (fun (s : Patchwork.Capture.sample) ->
          (s.Patchwork.Capture.acaps, s.Patchwork.Capture.materialized_fraction))

@@ -4,11 +4,18 @@
     transport-layer fields; because 20-second samples rarely contain
     whole flows, the paper pieces flow {e snippets} together across
     samples and aggregates their packets.  That aggregation found most
-    flows to be tiny while a few reached ~100 GB. *)
+    flows to be tiny while a few reached ~100 GB.
+
+    Aggregation shards per group (one capture sample per shard) and
+    merges shards in group order, so handing it a {!Parallel.Pool}
+    parallelizes the sharding without changing a single bit of the
+    result. *)
 
 type summary = {
   flow_key : string;
-  frames : int;
+  frames : float;
+      (** observed frames, re-weighted by sampling fraction; an exact
+          integer whenever the fraction is 1.0 *)
   bytes : float;  (** observed bytes, re-weighted by sampling fraction *)
   first_seen : float;
   last_seen : float;
@@ -16,15 +23,17 @@ type summary = {
 }
 
 val aggregate :
+  ?pool:Parallel.Pool.t ->
   ?weights:(Dissect.Acap.record list * float) list ->
   Dissect.Acap.record list ->
   summary list
 (** Group records by flow key.  When [weights] is given, each record
-    list carries the materialized fraction of its sample and observed
-    bytes are scaled by its inverse (a thinned capture under-counts
-    bytes). *)
+    list carries the materialized fraction of its sample and both
+    observed bytes and observed frames are scaled by its inverse (a
+    thinned capture under-counts both). *)
 
-val of_samples : Patchwork.Capture.sample list -> summary list
+val of_samples :
+  ?pool:Parallel.Pool.t -> Patchwork.Capture.sample list -> summary list
 (** Aggregate across samples with per-sample re-weighting. *)
 
 val size_log_histogram : summary list -> Netcore.Histogram.Log2.t

@@ -21,7 +21,7 @@ module Builder = struct
   }
 
   type flow_acc = {
-    mutable a_frames : int;
+    mutable a_frames : float;  (* weighted, like bytes *)
     mutable a_bytes : float;
     mutable a_first : float;
     mutable a_last : float;
@@ -106,7 +106,7 @@ module Builder = struct
         | None ->
           let acc =
             {
-              a_frames = 0;
+              a_frames = 0.0;
               a_bytes = 0.0;
               a_first = r.Dissect.Acap.ts;
               a_last = r.Dissect.Acap.ts;
@@ -116,24 +116,36 @@ module Builder = struct
           Hashtbl.add b.flow_table key acc;
           acc
       in
-      acc.a_frames <- acc.a_frames + 1;
+      (* A thinned sample under-counts frames exactly like bytes. *)
+      acc.a_frames <- acc.a_frames +. weight;
       acc.a_bytes <- acc.a_bytes +. (len *. weight);
       acc.a_first <- Float.min acc.a_first r.Dissect.Acap.ts;
       acc.a_last <- Float.max acc.a_last r.Dissect.Acap.ts;
       acc.a_rst <- acc.a_rst || r.Dissect.Acap.tcp_rst
 
-  let add_sample b (s : Patchwork.Capture.sample) =
+  let absorb_sample b (s : Patchwork.Capture.sample) records =
     b.samples <- b.samples + 1;
     b.flows_per_sample <-
       s.Patchwork.Capture.stats.Patchwork.Capture.flow_estimate :: b.flows_per_sample;
     let frac = s.Patchwork.Capture.materialized_fraction in
     let weight = if frac > 0.0 then 1.0 /. frac else 1.0 in
     let acc = site_acc b s.Patchwork.Capture.sample_site in
-    List.iter (absorb_record b acc weight) (Digest.sample_acaps s)
+    List.iter (absorb_record b acc weight) records
 
-  let add_report b report =
+  let add_sample ?pool b (s : Patchwork.Capture.sample) =
+    absorb_sample b s (Digest.sample_acaps ?pool s)
+
+  let add_report ?(pool = Parallel.Pool.sequential) b report =
     b.occasions <- b.occasions + 1;
-    List.iter (add_sample b) (Patchwork.Coordinator.all_samples report)
+    (* Digestion — the expensive step — fans out across the pool, one
+       task per sample; absorption into the shared builder then runs
+       sequentially in sample order, so the profile is identical to a
+       sequential build. *)
+    let samples = Patchwork.Coordinator.all_samples report in
+    let digested =
+      Parallel.Pool.map pool (fun s -> Digest.sample_acaps s) samples
+    in
+    List.iter2 (absorb_sample b) samples digested
 
   let finish b =
     let header_stats =
@@ -191,9 +203,9 @@ module Builder = struct
     }
 end
 
-let of_reports reports =
+let of_reports ?pool reports =
   let b = Builder.create () in
-  List.iter (Builder.add_report b) reports;
+  List.iter (Builder.add_report ?pool b) reports;
   Builder.finish b
 
 let write_csv_files t ~dir =

@@ -30,14 +30,21 @@ module Builder : sig
 
   val create : unit -> t
 
-  val add_report : t -> Patchwork.Coordinator.occasion_report -> unit
+  val add_report :
+    ?pool:Parallel.Pool.t -> t -> Patchwork.Coordinator.occasion_report -> unit
   (** Digest and absorb one occasion; safe to drop the report (and its
-      samples) afterwards. *)
+      samples) afterwards.  With a pool, per-sample digestion runs
+      across domains (absorption stays in sample order, so the finished
+      profile is identical to a sequential build). *)
+
+  val add_sample : ?pool:Parallel.Pool.t -> t -> Patchwork.Capture.sample -> unit
+  (** Digest and absorb one sample. *)
 
   val finish : t -> profile
 end
 
-val of_reports : Patchwork.Coordinator.occasion_report list -> t
+val of_reports :
+  ?pool:Parallel.Pool.t -> Patchwork.Coordinator.occasion_report list -> t
 (** Convenience wrapper over {!Builder} for small report sets. *)
 
 val write_csv_files : t -> dir:string -> string list

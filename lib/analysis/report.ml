@@ -51,7 +51,11 @@ let flow_rows summaries =
     (fun (f : Flows.summary) ->
       [
         f.Flows.flow_key;
-        string_of_int f.Flows.frames;
+        (* Weighted frame estimates are integral for unthinned samples;
+           keep those rows exact and readable. *)
+        (if Float.is_integer f.Flows.frames then
+           string_of_int (int_of_float f.Flows.frames)
+         else Printf.sprintf "%.2f" f.Flows.frames);
         Printf.sprintf "%.0f" f.Flows.bytes;
         Printf.sprintf "%.3f" f.Flows.first_seen;
         Printf.sprintf "%.3f" f.Flows.last_seen;

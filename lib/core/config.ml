@@ -27,6 +27,7 @@ type t = {
   busiest_window : float;
   instance_crash_prob : float;
   host_profile : Hostmodel.Host_profile.t;
+  pool_size : int;
 }
 
 let default =
@@ -46,6 +47,7 @@ let default =
     busiest_window = 1800.0;
     instance_crash_prob = 0.001;
     host_profile = Hostmodel.Host_profile.default;
+    pool_size = Parallel.Pool.default_size ();
   }
 
 let validate t =
@@ -59,6 +61,7 @@ let validate t =
   else if t.max_frames_per_sample <= 0 then fail "max_frames_per_sample must be positive"
   else if t.instance_crash_prob < 0.0 || t.instance_crash_prob > 1.0 then
     fail "instance_crash_prob must be a probability"
+  else if t.pool_size < 1 then fail "pool_size must be at least 1"
   else begin
     match t.port_selection with
     | Busiest_bias n when n < 2 -> fail "busiest-bias needs n >= 2"

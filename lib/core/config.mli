@@ -47,6 +47,11 @@ type t = {
           (environmental failures and the early-deployment bug behind
           Fig. 10's "Incomplete" runs) *)
   host_profile : Hostmodel.Host_profile.t;
+  pool_size : int;
+      (** degrees of parallelism for the offline pipeline (gathering and
+          analysis fan-out); 1 disables domain spawning.  Defaults to
+          [Domain.recommended_domain_count () - 1].  Results are
+          identical at any pool size. *)
 }
 
 val default : t

@@ -147,7 +147,7 @@ let gather_site run =
     storage_used;
   }
 
-let run_occasion ~fabric ~driver ~config ?(max_instances = 2) ~start_time
+let run_occasion ~fabric ~driver ~config ?pool ?(max_instances = 2) ~start_time
     ~duration () =
   (match Config.validate config with
   | Ok () -> ()
@@ -187,8 +187,19 @@ let run_occasion ~fabric ~driver ~config ?(max_instances = 2) ~start_time
     (fun run -> List.iter (fun i -> Instance.start i ~until) run.sr_instances)
     runs;
   Simcore.Engine.run ~until engine;
-  (* Phase 3: gathering — collect artifacts, yield resources back. *)
-  let reports = List.map gather_site runs in
+  (* Phase 3: gathering — collect artifacts, yield resources back.
+     Per-site gathering only reads instance state (the engine stopped at
+     [until]), so it fans out across the pool; [Parallel.Pool.map]
+     preserves site order. *)
+  let gather p = Parallel.Pool.map p gather_site runs in
+  let reports =
+    match pool with
+    | Some p -> gather p
+    | None ->
+      if config.Config.pool_size > 1 then
+        Parallel.Pool.with_pool ~size:config.Config.pool_size gather
+      else List.map gather_site runs
+  in
   List.iter
     (fun run ->
       match run.sr_slice with

@@ -41,6 +41,7 @@ val run_occasion :
   fabric:Testbed.Fablib.t ->
   driver:Traffic.Driver.t ->
   config:Config.t ->
+  ?pool:Parallel.Pool.t ->
   ?max_instances:int ->
   start_time:float ->
   duration:float ->

@@ -13,7 +13,8 @@ type t = {
   engine : Simcore.Engine.t;
   switch : Switch.t;
   quantum : float;
-  mutable requests : request list;  (* submission order *)
+  mutable requests_rev : request list;  (* newest first: O(1) submit *)
+  pending : (string * int, unit) Hashtbl.t;  (* (user, src_port) set *)
   mutable grants : (grant * float) list;  (* grant, granted_at *)
   service : (string, float) Hashtbl.t;
   mutable listeners : (granted:grant list -> revoked:grant list -> unit) list;
@@ -25,19 +26,20 @@ let create engine switch ~quantum =
     engine;
     switch;
     quantum;
-    requests = [];
+    requests_rev = [];
+    pending = Hashtbl.create 64;
     grants = [];
     service = Hashtbl.create 8;
     listeners = [];
   }
 
 let submit t ~user ~src_port ~dst_port =
-  if
-    List.exists
-      (fun r -> r.r_user = user && r.r_src_port = src_port)
-      t.requests
-  then invalid_arg "Mirror_scheduler.submit: duplicate request";
-  t.requests <- t.requests @ [ { r_user = user; r_src_port = src_port; r_dst_port = dst_port } ];
+  if Hashtbl.mem t.pending (user, src_port) then
+    invalid_arg "Mirror_scheduler.submit: duplicate request";
+  t.requests_rev <-
+    { r_user = user; r_src_port = src_port; r_dst_port = dst_port }
+    :: t.requests_rev;
+  Hashtbl.add t.pending (user, src_port) ();
   if not (Hashtbl.mem t.service user) then Hashtbl.add t.service user 0.0
 
 let service_time t ~user = Option.value ~default:0.0 (Hashtbl.find_opt t.service user)
@@ -52,10 +54,11 @@ let revoke t (grant, since) =
   Switch.remove_mirror t.switch grant.g_mirror
 
 let cancel t ~user ~src_port =
-  t.requests <-
+  Hashtbl.remove t.pending (user, src_port);
+  t.requests_rev <-
     List.filter
       (fun r -> not (r.r_user = user && r.r_src_port = src_port))
-      t.requests;
+      t.requests_rev;
   let revoked, kept =
     List.partition
       (fun (g, _) -> g.g_user = user && g.g_src_port = src_port)
@@ -81,24 +84,28 @@ let round t =
   List.iter (revoke t) old;
   t.grants <- [];
   let by_port = Hashtbl.create 8 in
+  (* [requests_rev] is newest-first, so consing while iterating leaves
+     each per-port list in submission order. *)
   List.iter
     (fun r ->
       let l = Option.value ~default:[] (Hashtbl.find_opt by_port r.r_src_port) in
       Hashtbl.replace by_port r.r_src_port (r :: l))
-    t.requests;
+    t.requests_rev;
   let used_dsts = ref [] in
   let new_grants = ref [] in
-  let ports = List.sort_uniq compare (List.map (fun r -> r.r_src_port) t.requests) in
+  let ports =
+    List.sort_uniq compare (List.map (fun r -> r.r_src_port) t.requests_rev)
+  in
   List.iter
     (fun port ->
       let contenders = Option.value ~default:[] (Hashtbl.find_opt by_port port) in
-      (* Least-served first; ties broken by submission order (the list
-         is reversed, so re-sort stably on service). *)
+      (* Least-served first; the stable sort breaks ties by submission
+         order. *)
       let ranked =
         List.stable_sort
           (fun a b ->
             compare (service_time t ~user:a.r_user) (service_time t ~user:b.r_user))
-          (List.rev contenders)
+          contenders
       in
       let rec try_grant = function
         | [] -> ()

@@ -33,9 +33,20 @@ module Writer = struct
 
   let add t ~ts ?orig_len data =
     let orig_len = match orig_len with Some l -> l | None -> Bytes.length data in
-    let incl_len = min (Bytes.length data) t.snaplen in
+    if orig_len < 0 then invalid_arg "Pcap.Writer.add: negative orig_len";
+    (* The spec requires incl_len <= orig_len: a caller claiming fewer
+       original bytes than it hands us gets the excess dropped. *)
+    let incl_len = min (min (Bytes.length data) t.snaplen) orig_len in
     let sec = int_of_float ts in
-    let usec = int_of_float ((ts -. float_of_int sec) *. 1e6) in
+    (* Round (not truncate) to the nearest microsecond: truncation biases
+       every timestamp down by up to 1us.  Rounding near a whole second can
+       then yield usec = 1_000_000 (e.g. ts = Float.pred 2.0); carry it
+       into sec so the field stays in [0, 999999]. *)
+    let usec = int_of_float (Float.round ((ts -. float_of_int sec) *. 1e6)) in
+    let sec, usec =
+      if usec >= 1_000_000 then (sec + 1, usec - 1_000_000)
+      else (sec, max 0 usec)
+    in
     write_u32_be t.buf (Int32.of_int sec);
     write_u32_be t.buf (Int32.of_int usec);
     write_u32_be t.buf (Int32.of_int incl_len);

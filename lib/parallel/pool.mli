@@ -1,0 +1,69 @@
+(** A small fixed-size domain work pool for the offline pipeline.
+
+    The paper's Digest/Index/Analyze stages are embarrassingly parallel
+    over samples and packets; this pool runs them across OCaml 5 domains
+    while keeping every result deterministic: [map] preserves input
+    order, and [fold_chunked] always splits the input at the same
+    (pool-size-independent) boundaries and merges chunk results in chunk
+    order.  Running with a pool of size 1 therefore produces bit-identical
+    output to running with any larger pool.
+
+    The pool is dependency-free (stdlib [Domain]/[Mutex]/[Condition])
+    and degrades gracefully: a requested size of 1 — or any failure to
+    spawn domains — yields a pool that executes everything sequentially
+    in the calling domain. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val create : ?size:int -> unit -> t
+(** A pool with [size] total degrees of parallelism (the calling domain
+    participates, so [size - 1] worker domains are spawned; default
+    {!default_size}).  [size <= 1] or a [Domain.spawn] failure falls
+    back toward sequential execution with however many workers exist.
+    Raises [Invalid_argument] if [size < 1]. *)
+
+val sequential : t
+(** A shared always-sequential pool (no worker domains); useful as the
+    default for [?pool] arguments. *)
+
+val size : t -> int
+(** Actual parallelism: worker domains + the calling domain. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]: [f] runs on chunks of the list across domains,
+    results are reassembled in input order.  [f] must be pure (it runs
+    concurrently and, on the sequential fallback, in arbitrary chunk
+    order).  Exceptions raised by [f] are re-raised in the caller, the
+    earliest (by input position) first. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array flavour of {!map}. *)
+
+val fold_chunked :
+  t ->
+  ?chunk_size:int ->
+  map:('a list -> 'b) ->
+  merge:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [fold_chunked t ~chunk_size ~map ~merge ~init l] splits [l] into
+    contiguous chunks of [chunk_size] (default 1024; the split depends
+    only on [chunk_size] and [l], never on the pool), applies [map] to
+    every chunk in parallel, and folds the chunk results with [merge]
+    left-to-right in chunk order.  Deterministic for pure [map]. *)
+
+val chunk : chunk_size:int -> 'a list -> 'a list list
+(** The contiguous chunking used by {!fold_chunked}, exposed so tests
+    can lock in determinism.  Raises [Invalid_argument] if
+    [chunk_size < 1]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool then executes sequentially;
+    shutting down twice (or shutting down {!sequential}) is a no-op. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exceptions). *)

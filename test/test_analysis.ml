@@ -129,7 +129,7 @@ let test_flow_aggregation () =
   Alcotest.(check int) "two flows" 2 (List.length flows);
   let big = List.hd flows in
   Alcotest.(check (float 1e-9)) "bytes summed" 300.0 big.Flows.bytes;
-  Alcotest.(check int) "frames" 2 big.Flows.frames;
+  Alcotest.(check (float 0.0)) "frames" 2.0 big.Flows.frames;
   Alcotest.(check (float 1e-9)) "first seen" 1.0 big.Flows.first_seen;
   Alcotest.(check (float 1e-9)) "last seen" 5.0 big.Flows.last_seen
 
@@ -141,6 +141,26 @@ let test_flow_aggregation_weighted () =
   | [ f ] ->
     (* 100/0.1 + 100/1.0 = 1100 *)
     Alcotest.(check (float 1e-6)) "thinned frames re-weighted" 1100.0 f.Flows.bytes
+  | _ -> Alcotest.fail "expected one flow"
+
+let test_flow_weighted_frame_counts () =
+  (* Regression: frames must scale by the same 1/fraction weight as
+     bytes.  The old code re-weighted bytes but counted each sampled
+     record as exactly one frame, so a 10% sample under-reported frame
+     counts 10x. *)
+  let sampled =
+    ([ record ~len:100 ~l4:(Some (1, 2)) (); record ~len:100 ~l4:(Some (1, 2)) () ], 0.1)
+  in
+  (match Flows.aggregate ~weights:[ sampled ] [] with
+  | [ f ] ->
+    Alcotest.(check (float 1e-9)) "frames re-weighted" 20.0 f.Flows.frames;
+    Alcotest.(check (float 1e-6)) "bytes re-weighted" 2000.0 f.Flows.bytes
+  | _ -> Alcotest.fail "expected one flow");
+  (* fraction = 1.0 must stay an exact integer count (fast path). *)
+  let full = ([ record ~l4:(Some (1, 2)) (); record ~l4:(Some (1, 2)) () ], 1.0) in
+  match Flows.aggregate ~weights:[ full ] [] with
+  | [ f ] ->
+    Alcotest.(check (float 0.0)) "exact integer frames" 2.0 f.Flows.frames
   | _ -> Alcotest.fail "expected one flow"
 
 let test_flow_vlan_separation () =
@@ -324,6 +344,8 @@ let suites =
       [
         Alcotest.test_case "aggregation" `Quick test_flow_aggregation;
         Alcotest.test_case "weighted aggregation" `Quick test_flow_aggregation_weighted;
+        Alcotest.test_case "weighted frame counts" `Quick
+          test_flow_weighted_frame_counts;
         Alcotest.test_case "vlan separation" `Quick test_flow_vlan_separation;
         Alcotest.test_case "rst tracking" `Quick test_flow_rst_tracking;
         Alcotest.test_case "top n" `Quick test_flow_top_n;

@@ -65,6 +65,49 @@ let qcheck_pcapng_roundtrip =
       | [ p ] -> Bytes.equal p.Packet.Pcap.data (Packet.Codec.encode f)
       | _ -> false)
 
+(* --- classic pcap writer edge cases --- *)
+
+let test_pcap_usec_carry () =
+  (* Rounding ts to the nearest microsecond can land on usec = 1_000_000
+     (ts infinitesimally below a whole second); the writer must carry
+     into the seconds field instead of emitting an out-of-range value. *)
+  let w = Packet.Pcap.Writer.create () in
+  let data = Bytes.make 60 '\x2a' in
+  Packet.Pcap.Writer.add w ~ts:(Float.pred 2.0) data;
+  Packet.Pcap.Writer.add w ~ts:1.2345678 data;
+  let buf = Packet.Pcap.Writer.contents w in
+  (* Inspect the raw record header (first record starts right after the
+     24-byte global header): sec, then usec. *)
+  let u32 off = Int32.to_int (Bytes.get_int32_be buf off) in
+  Alcotest.(check int) "sec carried" 2 (u32 24);
+  Alcotest.(check int) "usec wrapped to zero" 0 (u32 28);
+  match Packet.Pcap.Reader.packets buf with
+  | [ p0; p1 ] ->
+    Alcotest.(check (float 0.0)) "carried ts roundtrip" 2.0 p0.Packet.Pcap.ts;
+    (* 0.2345678 rounds to 234568us; truncation would give 234567. *)
+    Alcotest.(check (float 5e-7)) "nearest-us rounding" 1.2345678
+      p1.Packet.Pcap.ts
+  | _ -> Alcotest.fail "expected two packets"
+
+let test_pcap_incl_len_capped () =
+  (* The pcap spec requires incl_len <= orig_len: a caller claiming fewer
+     original bytes than it supplies gets the excess dropped. *)
+  let w = Packet.Pcap.Writer.create () in
+  let data = Bytes.init 100 Char.chr in
+  Packet.Pcap.Writer.add w ~ts:0.5 ~orig_len:64 data;
+  (match Packet.Pcap.Reader.packets (Packet.Pcap.Writer.contents w) with
+  | [ p ] ->
+    Alcotest.(check int) "orig_len" 64 p.Packet.Pcap.orig_len;
+    Alcotest.(check int) "incl_len capped" 64 (Bytes.length p.Packet.Pcap.data);
+    Alcotest.(check bytes) "prefix preserved" (Bytes.sub data 0 64)
+      p.Packet.Pcap.data
+  | _ -> Alcotest.fail "expected one packet");
+  Alcotest.(check bool) "negative orig_len rejected" true
+    (try
+       Packet.Pcap.Writer.add w ~ts:0.5 ~orig_len:(-1) data;
+       false
+     with Invalid_argument _ -> true)
+
 (* --- NetFlow --- *)
 
 let iperf_template ~vlan ~src ~dst =
@@ -231,6 +274,13 @@ let suites =
         Alcotest.test_case "rejects garbage" `Quick test_pcapng_rejects_garbage;
         Alcotest.test_case "digest interop" `Quick test_pcapng_digest_interop;
         QCheck_alcotest.to_alcotest qcheck_pcapng_roundtrip;
+      ] );
+    ( "formats.pcap",
+      [
+        Alcotest.test_case "usec carry at whole second" `Quick
+          test_pcap_usec_carry;
+        Alcotest.test_case "incl_len capped at orig_len" `Quick
+          test_pcap_incl_len_capped;
       ] );
     ( "formats.netflow",
       [

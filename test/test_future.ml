@@ -135,6 +135,40 @@ let test_scheduler_cancel_revokes () =
   Alcotest.(check int) "revoked" 0 (List.length (Scheduler.current_grants sched));
   Alcotest.(check int) "switch session removed" 0 (Switch.mirror_count sw)
 
+let test_scheduler_fifo_at_scale () =
+  let engine, _, sched = sched_setup () in
+  let n = 10_000 in
+  (* 10k standing requests over 4 contended ports.  Submission must stay
+     O(1) per request (the queue used to be rebuilt with [@] on every
+     submit, making this loop quadratic), and with equal service times
+     grants must rotate in strict submission (FIFO) order. *)
+  for i = 0 to n - 1 do
+    Scheduler.submit sched
+      ~user:(Printf.sprintf "u%d" i)
+      ~src_port:(i mod 4)
+      ~dst_port:(4 + (i mod 4))
+  done;
+  Scheduler.start sched ~until:3600.0;
+  let grant_users () =
+    List.sort compare
+      (List.map (fun g -> g.Scheduler.g_user) (Scheduler.current_grants sched))
+  in
+  Alcotest.(check (list string)) "first round grants earliest submitters"
+    [ "u0"; "u1"; "u2"; "u3" ] (grant_users ());
+  Simcore.Engine.run ~until:600.0 engine;
+  (* Rounds at t = 0, 60, ..., 600: round k grants u_{4k}..u_{4k+3}. *)
+  Alcotest.(check (list string)) "FIFO rotation after ten quanta"
+    [ "u40"; "u41"; "u42"; "u43" ] (grant_users ());
+  Alcotest.(check (float 1e-9)) "one quantum served each" 60.0
+    (Scheduler.service_time sched ~user:"u0");
+  (* Cancelling mid-queue must not disturb everyone else's order: the
+     next round grants the following four submitters, skipping the
+     cancelled one. *)
+  Scheduler.cancel sched ~user:"u44" ~src_port:0;
+  Simcore.Engine.run ~until:660.0 engine;
+  Alcotest.(check (list string)) "cancelled request skipped in order"
+    [ "u45"; "u46"; "u47"; "u48" ] (grant_users ())
+
 let test_scheduler_duplicate_rejected () =
   let _, _, sched = sched_setup () in
   Scheduler.submit sched ~user:"alice" ~src_port:0 ~dst_port:4;
@@ -182,5 +216,7 @@ let suites =
         Alcotest.test_case "duplicate rejected" `Quick test_scheduler_duplicate_rejected;
         Alcotest.test_case "listener notifications" `Quick test_scheduler_notifies_listeners;
         Alcotest.test_case "three-way fairness" `Quick test_scheduler_three_way_fairness;
+        Alcotest.test_case "FIFO order over 10k requests" `Quick
+          test_scheduler_fifo_at_scale;
       ] );
   ]

@@ -16,4 +16,5 @@ let () =
          Test_formats.suites;
          Test_iperf.suites;
          Test_future.suites;
+         Test_parallel.suites;
        ])

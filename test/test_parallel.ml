@@ -1,0 +1,115 @@
+(* The domain work pool: ordering, error propagation, chunking, and the
+   end-to-end property that parallel analysis equals sequential output
+   exactly, whatever the pool size or chunking. *)
+
+module Pool = Parallel.Pool
+
+let test_default_size () =
+  Alcotest.(check bool) "at least one" true (Pool.default_size () >= 1);
+  Alcotest.(check int) "sequential pool size" 1 (Pool.size Pool.sequential);
+  Pool.with_pool ~size:3 (fun pool ->
+      Alcotest.(check int) "requested size" 3 (Pool.size pool))
+
+let test_map_matches_list_map () =
+  let xs = List.init 1_000 (fun i -> i - 500) in
+  let f x = (x * x) - (3 * x) in
+  Pool.with_pool ~size:4 (fun pool ->
+      Alcotest.(check (list int)) "order preserved" (List.map f xs)
+        (Pool.map pool f xs));
+  Alcotest.(check (list int)) "sequential fallback" (List.map f xs)
+    (Pool.map Pool.sequential f xs)
+
+let test_map_edge_cases () =
+  Pool.with_pool ~size:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]);
+      Alcotest.(check (list int)) "fewer items than domains" [ 2; 3 ]
+        (Pool.map pool succ [ 1; 2 ]))
+
+let test_map_array () =
+  Pool.with_pool ~size:3 (fun pool ->
+      let xs = Array.init 257 (fun i -> i) in
+      Alcotest.(check (array int)) "array order preserved"
+        (Array.map succ xs)
+        (Pool.map_array pool succ xs))
+
+let test_exception_propagates () =
+  Pool.with_pool ~size:3 (fun pool ->
+      Alcotest.(check bool) "worker exception reraised" true
+        (try
+           ignore
+             (Pool.map pool
+                (fun x -> if x = 5 then failwith "boom" else x)
+                (List.init 10 Fun.id));
+           false
+         with Failure m -> m = "boom");
+      (* A failed batch must not poison the pool. *)
+      Alcotest.(check (list int)) "pool survives failed batch" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let test_chunk_partitions () =
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list (list int)))
+    "contiguous chunks"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6; 7; 8 ]; [ 9 ] ]
+    (Pool.chunk ~chunk_size:3 xs);
+  Alcotest.(check (list (list int))) "oversized chunk" [ xs ]
+    (Pool.chunk ~chunk_size:100 xs);
+  Alcotest.(check (list (list int))) "empty input" [] (Pool.chunk ~chunk_size:3 [])
+
+let test_fold_chunked_bit_identical () =
+  (* Chunk boundaries depend only on chunk_size, and merges run in chunk
+     order, so even float accumulation is bit-identical at any size. *)
+  let xs = List.init 500 (fun i -> float_of_int (i + 1) *. 0.1) in
+  let run pool =
+    Pool.fold_chunked pool ~chunk_size:64
+      ~map:(List.fold_left ( +. ) 0.0)
+      ~merge:( +. ) ~init:0.0 xs
+  in
+  let seq = run Pool.sequential in
+  Pool.with_pool ~size:2 (fun p ->
+      Alcotest.(check (float 0.0)) "2 domains bit-identical" seq (run p));
+  Pool.with_pool ~size:5 (fun p ->
+      Alcotest.(check (float 0.0)) "5 domains bit-identical" seq (run p))
+
+(* The satellite property: the full digest -> weighted-flow pipeline,
+   run through a pool over random chunkings, equals the sequential
+   result exactly (structural equality, no tolerance). *)
+let qcheck_parallel_pipeline_deterministic =
+  QCheck.Test.make ~name:"parallel digest+flows equal sequential" ~count:25
+    QCheck.(triple small_nat (int_range 1 4) (int_range 1 40))
+    (fun (seed, size, chunk_size) ->
+      let rng = Netcore.Rng.create (seed + 1) in
+      let w = Packet.Pcap.Writer.create () in
+      for i = 0 to 59 do
+        Packet.Pcap.Writer.add_frame w
+          ~ts:(float_of_int i *. 0.01)
+          (Frame_gen.random_frame rng)
+      done;
+      let buf = Packet.Pcap.Writer.contents w in
+      let seq_acaps = Analysis.Digest.pcap_to_acaps buf in
+      let groups =
+        List.mapi
+          (fun i c -> (c, if i mod 2 = 0 then 1.0 else 0.25))
+          (Pool.chunk ~chunk_size seq_acaps)
+      in
+      let seq_flows = Analysis.Flows.aggregate ~weights:groups [] in
+      Pool.with_pool ~size (fun pool ->
+          Analysis.Digest.pcap_to_acaps ~pool buf = seq_acaps
+          && Analysis.Flows.aggregate ~pool ~weights:groups [] = seq_flows))
+
+let suites =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "default size" `Quick test_default_size;
+        Alcotest.test_case "map matches List.map" `Quick test_map_matches_list_map;
+        Alcotest.test_case "map edge cases" `Quick test_map_edge_cases;
+        Alcotest.test_case "map_array" `Quick test_map_array;
+        Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+        Alcotest.test_case "chunk partitions" `Quick test_chunk_partitions;
+        Alcotest.test_case "fold_chunked determinism" `Quick
+          test_fold_chunked_bit_identical;
+        QCheck_alcotest.to_alcotest qcheck_parallel_pipeline_deterministic;
+      ] );
+  ]
