@@ -187,8 +187,47 @@ let analyze_cmd =
   let csv_dir =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR")
   in
-  let run file csv_dir domains =
+  let fused =
+    let doc =
+      "Use the fused streaming digest$(i,\u{2192})flows fast path: dissected \
+       packets stream straight into per-chunk flow shards without \
+       materializing the abstract-capture list, so memory stays \
+       proportional to the number of flows rather than packets.  Reports \
+       flow-level statistics (and writes flows.csv with --csv)."
+    in
+    Arg.(value & flag & info [ "fused" ] ~doc)
+  in
+  let run_fused file csv_dir pool =
+    let flows = Analysis.Digest.pcap_file_to_flows ~pool file in
+    let total_frames =
+      List.fold_left (fun acc (f : Analysis.Flows.summary) -> acc +. f.Analysis.Flows.frames) 0.0 flows
+    in
+    let total_bytes =
+      List.fold_left (fun acc (f : Analysis.Flows.summary) -> acc +. f.Analysis.Flows.bytes) 0.0 flows
+    in
+    Printf.printf "%d flows, %.0f keyed frames, %.0f bytes (fused streaming path)\n"
+      (List.length flows) total_frames total_bytes;
+    List.iter
+      (fun (f : Analysis.Flows.summary) ->
+        Printf.printf "  %-48s %10.0f B %8.0f frames%s\n" f.Analysis.Flows.flow_key
+          f.Analysis.Flows.bytes f.Analysis.Flows.frames
+          (if f.Analysis.Flows.rst_seen then "  RST" else ""))
+      (Analysis.Flows.top_n flows 10);
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Analysis.Report.write_file
+        (Filename.concat dir "flows.csv")
+        (Analysis.Report.csv_of_rows
+           ~header:[ "flow"; "frames"; "bytes"; "first"; "last"; "rst" ]
+           (Analysis.Report.flow_rows flows));
+      Printf.printf "wrote flows.csv under %s\n" dir
+  in
+  let run file csv_dir fused domains =
     with_domains domains @@ fun pool ->
+    if fused then run_fused file csv_dir pool
+    else begin
     let acaps = Analysis.Digest.pcap_file_to_acaps ~pool file in
     let occ = Analysis.Analyze.occurrence acaps in
     let h = Analysis.Analyze.frame_size_histogram acaps in
@@ -215,9 +254,10 @@ let analyze_cmd =
         (Analysis.Report.csv_of_rows ~header:[ "bin"; "count"; "fraction" ]
            (Analysis.Report.histogram_rows h));
       Printf.printf "wrote CSVs under %s\n" dir
+    end
   in
   let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
-  Cmd.v info Term.(const run $ file $ csv_dir $ domains_arg)
+  Cmd.v info Term.(const run $ file $ csv_dir $ fused $ domains_arg)
 
 (* --- weekly --- *)
 

@@ -1,11 +1,50 @@
+(* The indexed, zero-copy decode path.  A first sequential pass walks
+   record headers only and produces an offset/length/timestamp index
+   (Pcap.Reader.index / Pcapng.index); dissection then fans index ranges
+   out over the pool and reads headers in place through Packet.Slice,
+   so per-packet allocation is bounded by the abstract output, never by
+   payload sizes. *)
+
+let range_to_acaps buf idx ~lo ~hi =
+  let rec go i acc =
+    if i < lo then acc else go (i - 1) (Dissect.Acap.of_entry buf idx.(i) :: acc)
+  in
+  go (hi - 1) []
+
 let pcap_to_acaps ?(pool = Parallel.Pool.sequential) buf =
-  (* Accepts both classic pcap and pcapng.  Parsing the container is
-     cheap and stays sequential; per-packet dissection — the hot part —
-     fans out over the pool.  Dissection is pure and the map preserves
-     packet order, so the output is identical at any pool size. *)
+  (* Accepts both classic pcap and pcapng.  Dissection is pure and range
+     results concatenate in range order, so the output is identical at
+     any pool size or range partition. *)
+  let idx = Packet.Pcapng.index_any buf in
+  List.concat
+    (Parallel.Pool.map_ranges pool ~n:(Array.length idx)
+       (range_to_acaps buf idx))
+
+let pcap_to_acaps_copying ?(pool = Parallel.Pool.sequential) buf =
+  (* The pre-index materializing path: every packet is copied out of the
+     capture buffer before dissection.  Kept as the correctness baseline
+     for the sliced/fused paths (bench/decode_bench.exe and the qcheck
+     equivalence property compare against it). *)
   Parallel.Pool.map pool Dissect.Acap.of_packet (Packet.Pcapng.read_any buf)
 
-let pcap_file_to_acaps ?pool path =
+let pcap_to_flows ?(pool = Parallel.Pool.sequential) buf =
+  (* Fused single pass: each index range streams its dissected records
+     straight into a per-range flow shard, so live memory stays O(flows)
+     instead of O(packets).  Shard merging is exact at unit weight and
+     order-insensitive, hence bit-identical to aggregating the acap
+     list whatever the chunking. *)
+  let idx = Packet.Pcapng.index_any buf in
+  let shards =
+    Parallel.Pool.map_ranges pool ~n:(Array.length idx) (fun ~lo ~hi ->
+        let shard = Flows.Shard.create () in
+        for i = lo to hi - 1 do
+          Flows.Shard.add shard (Dissect.Acap.of_entry buf idx.(i))
+        done;
+        shard)
+  in
+  Flows.merge (List.map (fun s -> (s, 1.0)) shards)
+
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -13,7 +52,10 @@ let pcap_file_to_acaps ?pool path =
       let len = in_channel_length ic in
       let buf = Bytes.create len in
       really_input ic buf 0 len;
-      pcap_to_acaps ?pool buf)
+      buf)
+
+let pcap_file_to_acaps ?pool path = pcap_to_acaps ?pool (read_file path)
+let pcap_file_to_flows ?pool path = pcap_to_flows ?pool (read_file path)
 
 let sample_acaps ?pool (sample : Patchwork.Capture.sample) =
   match sample.Patchwork.Capture.pcap with

@@ -7,11 +7,27 @@
 
 val pcap_to_acaps : ?pool:Parallel.Pool.t -> bytes -> Dissect.Acap.record list
 (** Dissect every packet of an in-memory capture (classic pcap or
-    pcapng, detected from the magic number).  With a pool, per-packet
-    dissection runs across domains; record order (and content) is
-    identical to the sequential run. *)
+    pcapng, detected from the magic number) through the indexed,
+    zero-copy decode: record headers are walked once to build an
+    offset/length index, then index ranges are dissected in parallel as
+    {!Packet.Slice} views of the shared buffer — packet payloads are
+    never copied.  Record order (and content) is identical to the
+    sequential, copying run at any pool size. *)
+
+val pcap_to_acaps_copying :
+  ?pool:Parallel.Pool.t -> bytes -> Dissect.Acap.record list
+(** The pre-index materializing path ([Bytes.sub] per packet), kept as
+    the correctness and allocation baseline for benchmarks and tests. *)
+
+val pcap_to_flows : ?pool:Parallel.Pool.t -> bytes -> Flows.summary list
+(** Fused single-pass digest→flows fast path: each index range streams
+    its dissected records straight into a per-range {!Flows.Shard}
+    without materializing the intermediate acap list, keeping live
+    memory O(flows) instead of O(packets).  Bit-identical to
+    [Flows.aggregate (pcap_to_acaps buf)]. *)
 
 val pcap_file_to_acaps : ?pool:Parallel.Pool.t -> string -> Dissect.Acap.record list
+val pcap_file_to_flows : ?pool:Parallel.Pool.t -> string -> Flows.summary list
 
 val sample_acaps :
   ?pool:Parallel.Pool.t -> Patchwork.Capture.sample -> Dissect.Acap.record list

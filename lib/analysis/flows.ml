@@ -26,45 +26,51 @@ type acc = {
   mutable a_rst : bool;
 }
 
+module Shard = struct
+  type t = (string, shard) Hashtbl.t
+
+  let create () : t = Hashtbl.create 1024
+
+  let add (table : t) (r : Dissect.Acap.record) =
+    match Dissect.Acap.flow_key r with
+    | None -> ()
+    | Some key ->
+      let entry =
+        match Hashtbl.find_opt table key with
+        | Some e -> e
+        | None ->
+          let e =
+            {
+              s_frames = 0;
+              s_bytes = 0;
+              s_first = r.Dissect.Acap.ts;
+              s_last = r.Dissect.Acap.ts;
+              s_rst = false;
+            }
+          in
+          Hashtbl.add table key e;
+          e
+      in
+      entry.s_frames <- entry.s_frames + 1;
+      entry.s_bytes <- entry.s_bytes + r.Dissect.Acap.orig_len;
+      entry.s_first <- Float.min entry.s_first r.Dissect.Acap.ts;
+      entry.s_last <- Float.max entry.s_last r.Dissect.Acap.ts;
+      entry.s_rst <- entry.s_rst || r.Dissect.Acap.tcp_rst
+end
+
 let shard_group (records, fraction) =
-  let table : (string, shard) Hashtbl.t = Hashtbl.create 1024 in
-  List.iter
-    (fun (r : Dissect.Acap.record) ->
-      match Dissect.Acap.flow_key r with
-      | None -> ()
-      | Some key ->
-        let entry =
-          match Hashtbl.find_opt table key with
-          | Some e -> e
-          | None ->
-            let e =
-              {
-                s_frames = 0;
-                s_bytes = 0;
-                s_first = r.Dissect.Acap.ts;
-                s_last = r.Dissect.Acap.ts;
-                s_rst = false;
-              }
-            in
-            Hashtbl.add table key e;
-            e
-        in
-        entry.s_frames <- entry.s_frames + 1;
-        entry.s_bytes <- entry.s_bytes + r.Dissect.Acap.orig_len;
-        entry.s_first <- Float.min entry.s_first r.Dissect.Acap.ts;
-        entry.s_last <- Float.max entry.s_last r.Dissect.Acap.ts;
-        entry.s_rst <- entry.s_rst || r.Dissect.Acap.tcp_rst)
-    records;
+  let table = Shard.create () in
+  List.iter (Shard.add table) records;
   (table, fraction)
 
-(* Sharding is per group (one capture sample = one shard task) and the
-   merge walks shards in group order, so the result is identical
-   whatever the pool size — including the sequential fallback. *)
-let aggregate_weighted ?(pool = Parallel.Pool.sequential) groups =
-  let shards = Parallel.Pool.map pool shard_group groups in
+(* Merge shard tables in list order.  Per-key sums are exact integers
+   until weighting, min/max/or are order-independent, and the final sort
+   breaks byte ties on the flow key, so the result depends only on the
+   multiset of records per weight — never on how they were sharded. *)
+let merge_shards shards =
   let table : (string, acc) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
-    (fun (shard, fraction) ->
+    (fun ((shard : Shard.t), fraction) ->
       let weight = if fraction > 0.0 then 1.0 /. fraction else 1.0 in
       let exact = weight = 1.0 in
       Hashtbl.iter
@@ -112,7 +118,18 @@ let aggregate_weighted ?(pool = Parallel.Pool.sequential) groups =
       }
       :: acc)
     table []
-  |> List.sort (fun a b -> compare b.bytes a.bytes)
+  |> List.sort (fun a b ->
+         match compare b.bytes a.bytes with
+         | 0 -> compare a.flow_key b.flow_key
+         | c -> c)
+
+let merge = merge_shards
+
+(* Sharding is per group (one capture sample = one shard task) and the
+   merge is shard-order-insensitive, so the result is identical whatever
+   the pool size — including the sequential fallback. *)
+let aggregate_weighted ?(pool = Parallel.Pool.sequential) groups =
+  merge_shards (Parallel.Pool.map pool shard_group groups)
 
 let aggregate ?pool ?weights records =
   match weights with

@@ -22,6 +22,26 @@ type summary = {
   rst_seen : bool;
 }
 
+module Shard : sig
+  type t
+  (** A mutable per-chunk accumulator of exact integer per-flow sums.
+      The fused digest→flows fast path streams dissected records
+      straight into one shard per index range — never materializing the
+      record list — and merges the shards with {!merge}. *)
+
+  val create : unit -> t
+
+  val add : t -> Dissect.Acap.record -> unit
+  (** Fold one record in (records without a flow key are ignored). *)
+end
+
+val merge : (Shard.t * float) list -> summary list
+(** Merge shards (each with its sample's materialized fraction) into
+    summaries.  For unit fractions the merge is exact-integer and
+    shard-order-insensitive, and the final ordering breaks byte ties on
+    the flow key, so the output depends only on the records fed in —
+    never on how they were sharded. *)
+
 val aggregate :
   ?pool:Parallel.Pool.t ->
   ?weights:(Dissect.Acap.record list * float) list ->

@@ -38,9 +38,13 @@ let plan_ports fabric ~site ~instances =
   let nic_ports =
     List.filteri (fun i _ -> i >= n - instances) downlinks
   in
+  (* Membership through a hash set: the list-based scan was quadratic in
+     the port count, which large sites pay on every occasion. *)
+  let nic_set = Hashtbl.create (List.length nic_ports) in
+  List.iter (fun p -> Hashtbl.replace nic_set p ()) nic_ports;
   let uplinks = Fablib.uplink_ports fabric ~site in
   let candidates =
-    uplinks @ List.filter (fun p -> not (List.mem p nic_ports)) downlinks
+    uplinks @ List.filter (fun p -> not (Hashtbl.mem nic_set p)) downlinks
   in
   (nic_ports, candidates)
 
@@ -90,7 +94,10 @@ let setup_site ~fabric ~driver ~config ~log ~rng ~max_instances ~site
     let candidates =
       match only_ports with
       | None -> candidates
-      | Some ports -> List.filter (fun p -> List.mem p ports) candidates
+      | Some ports ->
+        let allowed = Hashtbl.create (List.length ports) in
+        List.iter (fun p -> Hashtbl.replace allowed p ()) ports;
+        List.filter (Hashtbl.mem allowed) candidates
     in
     let storage_bytes =
       float_of_int Backoff.instance_vm.Allocator.storage_gb *. 1e9

@@ -81,6 +81,15 @@ let of_packet (p : Packet.Pcap.packet) =
   abstract ~ts:p.ts ~orig_len:p.orig_len ~cap_len:(Bytes.length p.data)
     ~truncated:d.truncated d.headers
 
+let of_slice ~ts ~orig_len slice =
+  let d = Dissector.dissect_slice ~orig_len slice in
+  abstract ~ts ~orig_len ~cap_len:(Packet.Slice.length slice)
+    ~truncated:d.truncated d.headers
+
+let of_entry buf (e : Packet.Pcap.index_entry) =
+  of_slice ~ts:e.Packet.Pcap.ts ~orig_len:e.Packet.Pcap.orig_len
+    (Packet.Pcap.Reader.slice buf e)
+
 let of_frame ~ts (frame : Packet.Frame.t) =
   let len = Packet.Frame.wire_length frame in
   abstract ~ts ~orig_len:len ~cap_len:len ~truncated:false frame.headers

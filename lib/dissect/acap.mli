@@ -23,6 +23,15 @@ type record = {
 val of_packet : Packet.Pcap.packet -> record
 (** Dissect a pcap record and abstract it. *)
 
+val of_slice : ts:float -> orig_len:int -> Packet.Slice.t -> record
+(** Zero-copy flavour of {!of_packet}: dissect a view into the shared
+    capture buffer in place.  Bit-identical to materializing the slice
+    and calling {!of_packet}. *)
+
+val of_entry : bytes -> Packet.Pcap.index_entry -> record
+(** Resolve an index entry against its capture buffer and abstract it
+    through the slice path. *)
+
 val of_frame : ts:float -> Packet.Frame.t -> record
 (** Abstract a frame directly (no wire round-trip); used by fast paths
     that skip serialization. *)

@@ -95,10 +95,8 @@ let after_ethertype = function
   | 0x0806 -> Next_ethertype 0x0806
   | _ -> Next_payload
 
-let dissect ?orig_len data =
-  let orig_len = match orig_len with Some l -> l | None -> Bytes.length data in
-  let snapped = orig_len > Bytes.length data in
-  let r0 = Wire.Reader.of_bytes data in
+let dissect_reader ~orig_len ~cap_len r0 =
+  let snapped = orig_len > cap_len in
   let headers = ref [] in
   let push h = headers := h :: !headers in
   let truncated = ref snapped in
@@ -315,5 +313,18 @@ let dissect ?orig_len data =
       0
   in
   { headers = List.rev !headers; payload_len; truncated = !truncated }
+
+let dissect ?orig_len data =
+  let orig_len = match orig_len with Some l -> l | None -> Bytes.length data in
+  dissect_reader ~orig_len ~cap_len:(Bytes.length data)
+    (Wire.Reader.of_bytes data)
+
+(* The zero-copy path: headers are read in place through the slice's
+   bounds-checked cursor, so dissecting a slice of the shared capture
+   buffer allocates nothing payload-sized. *)
+let dissect_slice ?orig_len slice =
+  let cap_len = Packet.Slice.length slice in
+  let orig_len = match orig_len with Some l -> l | None -> cap_len in
+  dissect_reader ~orig_len ~cap_len (Packet.Slice.reader slice)
 
 let dissect_packet (p : Packet.Pcap.packet) = dissect ~orig_len:p.orig_len p.data

@@ -28,5 +28,11 @@ val dissect : ?orig_len:int -> bytes -> result
     when the capture was snapped (as recorded in pcap); it defaults to
     the buffer length. *)
 
+val dissect_slice : ?orig_len:int -> Packet.Slice.t -> result
+(** Zero-copy flavour of {!dissect}: headers are read in place through
+    the slice's bounds-checked cursor, never copying the underlying
+    capture buffer.  Produces results identical to dissecting
+    [Slice.to_bytes slice]. *)
+
 val dissect_packet : Packet.Pcap.packet -> result
 (** Convenience wrapper over a pcap record. *)

@@ -1,5 +1,7 @@
 type packet = { ts : float; orig_len : int; data : bytes }
 
+type index_entry = { ts : float; orig_len : int; data_off : int; cap_len : int }
+
 let magic_be = 0xA1B2C3D4l
 let magic_le = 0xD4C3B2A1l
 let linktype_ethernet = 1l
@@ -85,9 +87,15 @@ module Reader = struct
         (Int32.shift_left (Int32.of_int (Bytes.get_uint16_le buf (pos + 2))) 16)
         (Int32.of_int (Bytes.get_uint16_le buf pos))
 
+  (* Record-header fields are unsigned 32-bit quantities that must fit
+     a sane range; a top bit set means a corrupt (or hostile) capture,
+     and silently masking it would wrap a huge length into a bogus
+     small one that desynchronizes the rest of the record walk. *)
   let u32_int endian buf pos =
     let v = u32 endian buf pos in
-    Int32.to_int (Int32.logand v 0x7FFFFFFFl)
+    if Int32.compare v 0l < 0 then
+      raise (Malformed (Printf.sprintf "field out of range: 0x%08lx" v));
+    Int32.to_int v
 
   let header buf =
     if Bytes.length buf < 24 then raise (Malformed "file shorter than global header");
@@ -100,24 +108,41 @@ module Reader = struct
     let endian = header buf in
     u32_int endian buf 16
 
-  let fold buf ~init ~f =
+  (* First pass of the indexed decode: walk record headers only (never
+     payload bytes) and emit one offset/length/timestamp entry per
+     record.  Everything downstream — slicing, parallel dissection, the
+     compatibility [packets] list — derives from this single walk. *)
+  let index buf =
     let endian = header buf in
+    let snaplen = u32_int endian buf 16 in
     let len = Bytes.length buf in
-    let rec go acc pos =
-      if pos = len then acc
-      else if pos + 16 > len then raise (Malformed "truncated record header")
-      else begin
-        let sec = u32_int endian buf pos in
-        let usec = u32_int endian buf (pos + 4) in
-        let incl_len = u32_int endian buf (pos + 8) in
-        let orig_len = u32_int endian buf (pos + 12) in
-        if pos + 16 + incl_len > len then raise (Malformed "truncated packet data");
-        let data = Bytes.sub buf (pos + 16) incl_len in
-        let ts = float_of_int sec +. (float_of_int usec /. 1e6) in
-        go (f acc { ts; orig_len; data }) (pos + 16 + incl_len)
-      end
-    in
-    go init 24
+    let entries = ref [] in
+    let pos = ref 24 in
+    while !pos <> len do
+      if !pos + 16 > len then raise (Malformed "truncated record header");
+      let sec = u32_int endian buf !pos in
+      let usec = u32_int endian buf (!pos + 4) in
+      let incl_len = u32_int endian buf (!pos + 8) in
+      let orig_len = u32_int endian buf (!pos + 12) in
+      if incl_len > snaplen then
+        raise
+          (Malformed
+             (Printf.sprintf "incl_len %d exceeds snaplen %d" incl_len snaplen));
+      if !pos + 16 + incl_len > len then raise (Malformed "truncated packet data");
+      let ts = float_of_int sec +. (float_of_int usec /. 1e6) in
+      entries :=
+        { ts; orig_len; data_off = !pos + 16; cap_len = incl_len } :: !entries;
+      pos := !pos + 16 + incl_len
+    done;
+    Array.of_list (List.rev !entries)
+
+  let slice buf (e : index_entry) = Slice.make buf ~off:e.data_off ~len:e.cap_len
+
+  let packet_of_entry buf (e : index_entry) =
+    { ts = e.ts; orig_len = e.orig_len; data = Bytes.sub buf e.data_off e.cap_len }
+
+  let fold buf ~init ~f =
+    Array.fold_left (fun acc e -> f acc (packet_of_entry buf e)) init (index buf)
 
   let packets buf = List.rev (fold buf ~init:[] ~f:(fun acc p -> p :: acc))
 

@@ -12,6 +12,16 @@ type packet = {
   data : bytes;  (** captured bytes, possibly truncated to the snaplen *)
 }
 
+type index_entry = {
+  ts : float;
+  orig_len : int;
+  data_off : int;  (** byte offset of the captured data in the buffer *)
+  cap_len : int;  (** captured length *)
+}
+(** One record of a capture index: where a packet's bytes live inside
+    the shared capture buffer.  Produced by {!Reader.index} (and
+    {!Pcapng.index}); resolves to a {!Slice.t} without copying. *)
+
 module Writer : sig
   type t
 
@@ -38,6 +48,21 @@ end
 
 module Reader : sig
   exception Malformed of string
+
+  val index : bytes -> index_entry array
+  (** First pass of the indexed decode: walk record headers sequentially
+      (payload bytes are never touched) and return one entry per record.
+      Raises {!Malformed} on a bad magic number, a truncated record, a
+      record-header field with the top bit set (a corrupt length or
+      timestamp ≥ 2{^31}), or an [incl_len] exceeding the file's declared
+      snaplen. *)
+
+  val slice : bytes -> index_entry -> Slice.t
+  (** The captured bytes of an indexed record, as a zero-copy view. *)
+
+  val packet_of_entry : bytes -> index_entry -> packet
+  (** Materialize an indexed record (copies the data; the compatibility
+      path). *)
 
   val packets : bytes -> packet list
   (** Decode a whole capture.  Raises {!Malformed} on a bad magic number

@@ -90,7 +90,10 @@ let ru32i endian buf pos = Int32.to_int (Int32.logand (ru32 endian buf pos) 0x7F
 let is_pcapng buf =
   Bytes.length buf >= 4 && Int32.equal (ru32 Big buf 0) shb_type
 
-let packets buf =
+(* First pass of the indexed decode: walk block headers sequentially and
+   emit one offset/length/timestamp entry per packet block, sharing the
+   entry type (and hence the whole slice machinery) with classic pcap. *)
+let index buf =
   if not (is_pcapng buf) then raise (Malformed "not a pcapng stream");
   let len = Bytes.length buf in
   let out = ref [] in
@@ -123,7 +126,8 @@ let packets buf =
         {
           Pcap.ts = Int64.to_float usec /. 1e6;
           orig_len = orig;
-          data = Bytes.sub buf (body + 20) incl;
+          data_off = body + 20;
+          cap_len = incl;
         }
         :: !out
     end
@@ -131,12 +135,17 @@ let packets buf =
       let orig = ru32i !endian buf body in
       let incl = min orig (total - 16) in
       out :=
-        { Pcap.ts = 0.0; orig_len = orig; data = Bytes.sub buf (body + 4) incl }
+        { Pcap.ts = 0.0; orig_len = orig; data_off = body + 4; cap_len = incl }
         :: !out
     end;
     pos := !pos + total
   done;
-  List.rev !out
+  Array.of_list (List.rev !out)
+
+let packets buf =
+  Array.to_list (Array.map (Pcap.Reader.packet_of_entry buf) (index buf))
+
+let index_any buf = if is_pcapng buf then index buf else Pcap.Reader.index buf
 
 let read_any buf =
   if is_pcapng buf then packets buf else Pcap.Reader.packets buf

@@ -16,12 +16,21 @@ val writer_of_frames : ?snaplen:int -> (float * Frame.t) list -> bytes
 
 exception Malformed of string
 
+val index : bytes -> Pcap.index_entry array
+(** First pass of the indexed decode: walk block headers sequentially
+    and return one entry per Enhanced/Simple Packet block of every
+    section, each resolving to a zero-copy {!Slice.t} via
+    {!Pcap.Reader.slice}.  Raises {!Malformed} on bad block structure. *)
+
 val packets : bytes -> Pcap.packet list
 (** Decode every Enhanced/Simple Packet block of every section. *)
 
 val is_pcapng : bytes -> bool
 (** Checks the magic block type (and so distinguishes pcapng from
     classic pcap). *)
+
+val index_any : bytes -> Pcap.index_entry array
+(** Dispatch on magic: classic pcap or pcapng index. *)
 
 val read_any : bytes -> Pcap.packet list
 (** Dispatch on magic: classic pcap or pcapng. *)

@@ -42,6 +42,19 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array flavour of {!map}. *)
 
+val map_ranges : t -> ?range_count:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [map_ranges t ~n f] splits the index range [\[0, n)] into at most
+    [range_count] (default 4× the pool size) near-equal contiguous
+    sub-ranges, evaluates [f ~lo ~hi] for each across the pool, and
+    returns the results in range order.  This is how the indexed pcap
+    decode hands each worker a byte range of a shared capture buffer.
+
+    Range boundaries depend on [range_count]; a caller that needs output
+    independent of the pool size must either fix [range_count] or (as
+    the decode paths do) combine range results in a boundary-insensitive
+    way — concatenation in range order, or an exact merge.  [f] must be
+    pure; exceptions are re-raised in the caller, earliest range first. *)
+
 val fold_chunked :
   t ->
   ?chunk_size:int ->

@@ -8,6 +8,19 @@ type site_ports = {
      same few well-equipped servers, so port selection is Zipfian. *)
   ranked_downlinks : int array;
   downlink_zipf : Dist.Zipf.sampler;
+  (* Fabric port lists in Fablib order, materialized once: spawn_flow
+     runs per arrival, so per-call Array.of_list / harmonic-sum work
+     would be O(flows × ports). *)
+  downlinks : int array;
+  uplinks : int array;
+}
+
+(* Service palette of a profile with its Zipf sampler precomputed
+   (Zipf.create is an O(n) harmonic sum — far too hot to rebuild per
+   spawned flow). *)
+type site_services = {
+  palette : Dissect.Services.service array;
+  palette_zipf : Dist.Zipf.sampler;
 }
 
 type t = {
@@ -16,6 +29,7 @@ type t = {
   rng : Rng.t;
   profiles : (string, Workload.profile) Hashtbl.t;
   ports : (string, site_ports) Hashtbl.t;
+  services : (string, site_services) Hashtbl.t;
   specs : (int, Flow_model.spec) Hashtbl.t;
   mutable next_flow : int;
   mutable spawned : int;
@@ -25,18 +39,30 @@ type t = {
 let create fabric ~seed =
   let profiles = Hashtbl.create 32 in
   let ports = Hashtbl.create 32 in
+  let services = Hashtbl.create 32 in
   let rng = Rng.create (seed * 2654435761) in
   Array.iter
     (fun site ->
       let name = site.Info_model.name in
-      Hashtbl.add profiles name (Workload.profile_for_site ~seed site);
+      let profile = Workload.profile_for_site ~seed site in
+      Hashtbl.add profiles name profile;
       let downlinks = Array.of_list (Fablib.downlink_ports fabric ~site:name) in
-      Rng.shuffle rng downlinks;
+      let ranked = Array.copy downlinks in
+      Rng.shuffle rng ranked;
       Hashtbl.add ports name
         {
-          ranked_downlinks = downlinks;
-          downlink_zipf = Dist.Zipf.create ~n:(Array.length downlinks) ~s:1.2;
-        })
+          ranked_downlinks = ranked;
+          downlink_zipf = Dist.Zipf.create ~n:(Array.length ranked) ~s:1.2;
+          downlinks;
+          uplinks = Array.of_list (Fablib.uplink_ports fabric ~site:name);
+        };
+      let palette = Array.of_list profile.Workload.palette in
+      if Array.length palette > 0 then
+        Hashtbl.add services name
+          {
+            palette;
+            palette_zipf = Dist.Zipf.create ~n:(Array.length palette) ~s:0.9;
+          })
     (Fablib.model fabric).Info_model.sites;
   {
     fabric;
@@ -44,6 +70,7 @@ let create fabric ~seed =
     rng;
     profiles;
     ports;
+    services;
     specs = Hashtbl.create 1024;
     next_flow = 0;
     spawned = 0;
@@ -74,13 +101,10 @@ let ack_frame_sizes = Dist.Empirical [| (0.85, 66.0); (0.15, 90.0) |]
 let elephant_frame_sizes =
   Dist.Empirical [| (0.87, 1948.0); (0.045, 200.0); (0.085, 9000.0) |]
 
-let pick_service rng (p : Workload.profile) =
-  match p.Workload.palette with
-  | [] -> Option.get (Dissect.Services.by_name "ssh")
-  | palette ->
-    let n = List.length palette in
-    let zipf = Dist.Zipf.create ~n ~s:0.9 in
-    List.nth palette (Dist.Zipf.sample zipf rng - 1)
+let pick_service t rng (p : Workload.profile) =
+  match Hashtbl.find_opt t.services p.Workload.site_name with
+  | None -> Option.get (Dissect.Services.by_name "ssh")
+  | Some s -> s.palette.(Dist.Zipf.sample s.palette_zipf rng - 1)
 
 let pick_other_site t ~not_site =
   (* Multi-site slices overwhelmingly anchor on well-equipped sites, so
@@ -101,7 +125,7 @@ let random_downlink t ~site =
   let sp = Hashtbl.find t.ports site in
   let rank = Dist.Zipf.sample sp.downlink_zipf t.rng in
   sp.ranked_downlinks.(rank - 1)
-let random_uplink t ~site = Rng.choice t.rng (Array.of_list (Fablib.uplink_ports t.fabric ~site))
+let random_uplink t ~site = Rng.choice t.rng (Hashtbl.find t.ports site).uplinks
 
 (* A "plan" is the list of (site, port, dir) channels a stream occupies. *)
 let attach t plan ~flow ~byte_rate ~frame_rate =
@@ -165,7 +189,7 @@ let spawn_flow t (p : Workload.profile) =
     (* Line-rate bulk transfers are overwhelmingly TCP throughput tests. *)
     if is_elephant && Rng.bernoulli rng 0.85 then
       Option.get (Dissect.Services.by_name "iperf3")
-    else pick_service rng p
+    else pick_service t rng p
   in
   let params =
     {
@@ -195,10 +219,15 @@ let spawn_flow t (p : Workload.profile) =
       `Cross (remote, random_downlink t ~site:remote)
     end
     else begin
-      let downlinks = Fablib.downlink_ports t.fabric ~site in
-      match List.filter (fun port -> port <> src_port) downlinks with
-      | [] -> `Intra src_port (* single-downlink site: loop locally *)
-      | others -> `Intra (Rng.choice rng (Array.of_list others))
+      (* The cached Fablib-order downlink array, not a fresh Fablib
+         call + list rebuild per spawned flow. *)
+      let downlinks = (Hashtbl.find t.ports site).downlinks in
+      let others =
+        Array.of_seq (Seq.filter (fun port -> port <> src_port) (Array.to_seq downlinks))
+      in
+      if Array.length others = 0 then `Intra src_port
+        (* single-downlink site: loop locally *)
+      else `Intra (Rng.choice rng others)
     end
   in
   let fwd_plan = plan_forward t ~site ~src_port destination in

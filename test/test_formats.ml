@@ -416,3 +416,244 @@ let suites =
             test_cdf_and_histogram_charts_render;
         ] );
     ]
+
+(* --- indexed decode and zero-copy slices --- *)
+
+let expect_pcap_malformed name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Packet.Pcap.Reader.Malformed _ -> true)
+
+let test_pcap_index_matches_packets () =
+  let frames = sample_frames 12 in
+  let w = Packet.Pcap.Writer.create () in
+  List.iter (fun (ts, f) -> Packet.Pcap.Writer.add_frame w ~ts f) frames;
+  let buf = Packet.Pcap.Writer.contents w in
+  let idx = Packet.Pcap.Reader.index buf in
+  let packets = Packet.Pcap.Reader.packets buf in
+  Alcotest.(check int) "entry per record" (List.length packets) (Array.length idx);
+  List.iteri
+    (fun i (p : Packet.Pcap.packet) ->
+      let e = idx.(i) in
+      Alcotest.(check (float 0.0)) "ts" p.Packet.Pcap.ts e.Packet.Pcap.ts;
+      Alcotest.(check int) "orig_len" p.Packet.Pcap.orig_len e.Packet.Pcap.orig_len;
+      Alcotest.(check bool) "slice views the record bytes" true
+        (Packet.Slice.equal_bytes
+           (Packet.Pcap.Reader.slice buf e)
+           p.Packet.Pcap.data))
+    packets
+
+(* A hand-built record appended after the 24-byte global header; fields
+   are big-endian, matching Writer's byte order. *)
+let pcap_with_raw_record ?(snaplen = 65535) ~sec ~usec ~incl ~orig data =
+  let w = Packet.Pcap.Writer.create ~snaplen () in
+  let b = Buffer.create 64 in
+  Buffer.add_bytes b (Packet.Pcap.Writer.contents w);
+  List.iter (Buffer.add_int32_be b) [ sec; usec; incl; orig ];
+  Buffer.add_bytes b data;
+  Buffer.to_bytes b
+
+let test_pcap_rejects_top_bit_fields () =
+  (* A top bit set in any record-header field is a corrupt capture;
+     masking it would wrap a huge length into a small bogus one and
+     desynchronize the walk. *)
+  let data = Bytes.make 8 '\x00' in
+  expect_pcap_malformed "incl_len top bit" (fun () ->
+      Packet.Pcap.Reader.index
+        (pcap_with_raw_record ~sec:1l ~usec:0l ~incl:0x80000008l ~orig:8l data));
+  expect_pcap_malformed "timestamp top bit" (fun () ->
+      Packet.Pcap.Reader.index
+        (pcap_with_raw_record ~sec:0xFFFFFFFFl ~usec:0l ~incl:8l ~orig:8l data))
+
+let test_pcap_rejects_incl_over_snaplen () =
+  (* incl_len larger than the file's declared snaplen cannot have been
+     produced by the capture that wrote the header. *)
+  let data = Bytes.make 200 '\x2a' in
+  expect_pcap_malformed "incl_len > snaplen" (fun () ->
+      Packet.Pcap.Reader.index
+        (pcap_with_raw_record ~snaplen:100 ~sec:1l ~usec:0l ~incl:200l ~orig:200l
+           data))
+
+let test_pcap_rejects_truncated_data () =
+  let data = Bytes.make 10 '\x2a' in
+  expect_pcap_malformed "record data cut short" (fun () ->
+      Packet.Pcap.Reader.index
+        (pcap_with_raw_record ~sec:1l ~usec:0l ~incl:50l ~orig:50l data))
+
+(* A little-endian classic pcap, byte-for-byte what a LE host's libpcap
+   writes (our Writer is BE-only, so this is built by hand). *)
+let le_pcap ?(snaplen = 65535) records =
+  let b = Buffer.create 256 in
+  let u32 v = Buffer.add_int32_le b v in
+  let u32i v = u32 (Int32.of_int v) in
+  let u16 v = Buffer.add_uint16_le b v in
+  u32 0xA1B2C3D4l;
+  u16 2;
+  u16 4;
+  u32 0l;
+  u32 0l;
+  u32i snaplen;
+  u32 1l;
+  List.iter
+    (fun (sec, usec, data) ->
+      u32i sec;
+      u32i usec;
+      u32i (Bytes.length data);
+      u32i (Bytes.length data);
+      Buffer.add_bytes b data)
+    records;
+  Buffer.to_bytes b
+
+(* A little-endian pcapng section (SHB + IDB + one EPB per packet); the
+   reader must pick the byte order up from the section header magic. *)
+let le_pcapng ?(snaplen = 65535) packets =
+  let b = Buffer.create 256 in
+  let u32 v = Buffer.add_int32_le b v in
+  let u32i v = u32 (Int32.of_int v) in
+  let u16 v = Buffer.add_uint16_le b v in
+  let block btype body_len emit =
+    let pad = (4 - (body_len land 3)) land 3 in
+    let total = 12 + body_len + pad in
+    u32 btype;
+    u32i total;
+    emit ();
+    for _ = 1 to pad do
+      Buffer.add_char b '\x00'
+    done;
+    u32i total
+  in
+  block 0x0A0D0D0Al 16 (fun () ->
+      u32 0x1A2B3C4Dl;
+      u16 1;
+      u16 0;
+      u32 0xFFFFFFFFl;
+      u32 0xFFFFFFFFl);
+  block 1l 8 (fun () ->
+      u16 1;
+      u16 0;
+      u32i snaplen);
+  List.iter
+    (fun (p : Packet.Pcap.packet) ->
+      let data = p.Packet.Pcap.data in
+      let incl = Bytes.length data in
+      let usec = Int64.of_float (p.Packet.Pcap.ts *. 1e6) in
+      block 6l (20 + incl) (fun () ->
+          u32 0l;
+          u32i (Int64.to_int (Int64.shift_right_logical usec 32));
+          u32 (Int64.to_int32 usec);
+          u32i incl;
+          u32i p.Packet.Pcap.orig_len;
+          Buffer.add_bytes b data))
+    packets;
+  Buffer.to_bytes b
+
+let be_packets frames =
+  List.map
+    (fun (ts, f) ->
+      let data = Packet.Codec.encode f in
+      { Packet.Pcap.ts; orig_len = Bytes.length data; data })
+    frames
+
+let test_le_pcap_slice_path () =
+  let frames = sample_frames 6 in
+  let records =
+    List.map
+      (fun (ts, f) ->
+        (int_of_float ts, int_of_float (Float.round (ts *. 1e6)) mod 1_000_000,
+         Packet.Codec.encode f))
+      frames
+  in
+  let buf = le_pcap records in
+  let idx = Packet.Pcapng.index_any buf in
+  Alcotest.(check int) "LE pcap indexed" 6 (Array.length idx);
+  List.iteri
+    (fun i (_, _, data) ->
+      Alcotest.(check bool) "LE slice bytes" true
+        (Packet.Slice.equal_bytes (Packet.Pcap.Reader.slice buf idx.(i)) data))
+    records;
+  (* The digest path must read LE captures identically to BE ones. *)
+  let be =
+    let w = Packet.Pcap.Writer.create () in
+    List.iter (fun (ts, f) -> Packet.Pcap.Writer.add_frame w ~ts f) frames;
+    Packet.Pcap.Writer.contents w
+  in
+  let strip_ts (r : Dissect.Acap.record) = { r with Dissect.Acap.ts = 0.0 } in
+  Alcotest.(check int) "LE digest equals BE digest" 0
+    (compare
+       (List.map strip_ts (Analysis.Digest.pcap_to_acaps buf))
+       (List.map strip_ts (Analysis.Digest.pcap_to_acaps be)))
+
+let test_le_pcapng_slice_path () =
+  let frames = sample_frames 6 in
+  let packets = be_packets frames in
+  let le = le_pcapng packets in
+  let be = Packet.Pcapng.write packets in
+  Alcotest.(check bool) "detected as pcapng" true (Packet.Pcapng.is_pcapng le);
+  let idx = Packet.Pcapng.index le in
+  Alcotest.(check int) "LE pcapng indexed" 6 (Array.length idx);
+  List.iteri
+    (fun i (p : Packet.Pcap.packet) ->
+      Alcotest.(check bool) "LE slice bytes" true
+        (Packet.Slice.equal_bytes
+           (Packet.Pcap.Reader.slice le idx.(i))
+           p.Packet.Pcap.data))
+    packets;
+  Alcotest.(check int) "LE digest equals BE digest" 0
+    (compare (Analysis.Digest.pcap_to_acaps le) (Analysis.Digest.pcap_to_acaps be))
+
+let test_pcapng_snaplen_slice_path () =
+  let frames = sample_frames 5 in
+  let buf = Packet.Pcapng.writer_of_frames ~snaplen:60 frames in
+  let idx = Packet.Pcapng.index buf in
+  Array.iter
+    (fun (e : Packet.Pcap.index_entry) ->
+      Alcotest.(check bool) "capped at snaplen" true (e.Packet.Pcap.cap_len <= 60))
+    idx;
+  List.iter
+    (fun (r : Dissect.Acap.record) ->
+      Alcotest.(check bool) "snap marked truncated" true
+        (r.Dissect.Acap.cap_len >= r.Dissect.Acap.orig_len || r.Dissect.Acap.truncated))
+    (Analysis.Digest.pcap_to_acaps buf);
+  (* The slice path must agree with the copying path on capped records. *)
+  Alcotest.(check int) "sliced equals copied on capped capture" 0
+    (compare (Analysis.Digest.pcap_to_acaps buf)
+       (Analysis.Digest.pcap_to_acaps_copying buf))
+
+let test_pcapng_rejects_truncated_epb () =
+  let frames = sample_frames 1 in
+  let buf = Packet.Pcapng.writer_of_frames frames in
+  (* Find the EPB (third block: SHB 28 bytes, IDB 20 bytes) and inflate
+     its captured-length field past the block's extent. *)
+  let epb = 48 in
+  Bytes.set_int32_be buf (epb + 8 + 12) 0x7FFF0000l;
+  Alcotest.(check bool) "truncated EPB rejected" true
+    (try
+       ignore (Packet.Pcapng.index buf);
+       false
+     with Packet.Pcapng.Malformed _ -> true)
+
+let suites =
+  suites
+  @ [
+      ( "formats.slice",
+        [
+          Alcotest.test_case "pcap index matches packets" `Quick
+            test_pcap_index_matches_packets;
+          Alcotest.test_case "pcap rejects top-bit fields" `Quick
+            test_pcap_rejects_top_bit_fields;
+          Alcotest.test_case "pcap rejects incl_len > snaplen" `Quick
+            test_pcap_rejects_incl_over_snaplen;
+          Alcotest.test_case "pcap rejects truncated data" `Quick
+            test_pcap_rejects_truncated_data;
+          Alcotest.test_case "little-endian pcap slice path" `Quick
+            test_le_pcap_slice_path;
+          Alcotest.test_case "little-endian pcapng slice path" `Quick
+            test_le_pcapng_slice_path;
+          Alcotest.test_case "snaplen-capped slice path" `Quick
+            test_pcapng_snaplen_slice_path;
+          Alcotest.test_case "pcapng rejects truncated EPB" `Quick
+            test_pcapng_rejects_truncated_epb;
+        ] );
+    ]

@@ -98,6 +98,39 @@ let qcheck_parallel_pipeline_deterministic =
           Analysis.Digest.pcap_to_acaps ~pool buf = seq_acaps
           && Analysis.Flows.aggregate ~pool ~weights:groups [] = seq_flows))
 
+(* The tentpole property: the zero-copy sliced decode and the fused
+   digest->flows path are bit-identical to the copying baseline at pool
+   sizes 1, 2 and 4, over random captures and an arbitrary range_count
+   (range boundaries must never show in the output). *)
+let qcheck_sliced_fused_equal_copying =
+  QCheck.Test.make ~name:"sliced and fused decode equal copying path" ~count:15
+    QCheck.(triple small_nat (int_range 0 60) (int_range 1 12))
+    (fun (seed, npkts, range_count) ->
+      let rng = Netcore.Rng.create (seed + 11) in
+      let w = Packet.Pcap.Writer.create () in
+      for i = 0 to npkts - 1 do
+        Packet.Pcap.Writer.add_frame w
+          ~ts:(float_of_int i *. 0.002)
+          (Frame_gen.random_frame rng)
+      done;
+      let buf = Packet.Pcap.Writer.contents w in
+      let copied = Analysis.Digest.pcap_to_acaps_copying buf in
+      let base_flows = Analysis.Flows.aggregate copied in
+      let idx = Packet.Pcapng.index_any buf in
+      List.for_all
+        (fun size ->
+          Pool.with_pool ~size (fun pool ->
+              Analysis.Digest.pcap_to_acaps ~pool buf = copied
+              && Analysis.Digest.pcap_to_flows ~pool buf = base_flows
+              && (* hand-chunked dissection at an explicit range_count *)
+              List.concat
+                (Pool.map_ranges pool ~range_count ~n:(Array.length idx)
+                   (fun ~lo ~hi ->
+                     List.init (hi - lo) (fun i ->
+                         Dissect.Acap.of_entry buf idx.(lo + i))))
+              = copied))
+        [ 1; 2; 4 ])
+
 let suites =
   [
     ( "parallel.pool",
@@ -111,5 +144,6 @@ let suites =
         Alcotest.test_case "fold_chunked determinism" `Quick
           test_fold_chunked_bit_identical;
         QCheck_alcotest.to_alcotest qcheck_parallel_pipeline_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_sliced_fused_equal_copying;
       ] );
   ]
