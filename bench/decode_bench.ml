@@ -53,6 +53,32 @@ let random_frame rng =
 
 type run = { wall : float; minor : float; major : float }
 
+(* Machine-readable results (CI uploads BENCH_decode.json as an
+   artifact; the trend across commits is the regression signal). *)
+let json_runs : Obs.Export.Json.t list ref = ref []
+
+let record label domains (m : run) identical =
+  json_runs :=
+    Obs.Export.Json.Obj
+      [
+        ("label", Obs.Export.Json.Str label);
+        ("domains", Obs.Export.Json.Num (float_of_int domains));
+        ("wall_s", Obs.Export.Json.Num m.wall);
+        ("minor_words", Obs.Export.Json.Num m.minor);
+        ("major_words", Obs.Export.Json.Num m.major);
+        ("identical", Obs.Export.Json.Bool identical);
+      ]
+    :: !json_runs
+
+let write_json path fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Export.Json.to_string (Obs.Export.Json.Obj fields));
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path
+
 let measure f =
   Gc.full_major ();
   (* Gc.minor_words () reads the allocation pointer, so it is exact
@@ -101,11 +127,13 @@ let () =
     measure (fun () -> Analysis.Digest.pcap_to_acaps_copying buf)
   in
   pr "copied" 1 m_copied "";
+  record "copied" 1 m_copied true;
   let sliced_acaps, m_sliced =
     measure (fun () -> Analysis.Digest.pcap_to_acaps buf)
   in
-  pr "sliced" 1 m_sliced
-    (Printf.sprintf "  identical=%b" (check (sliced_acaps = copied_acaps)));
+  let sliced_identical = check (sliced_acaps = copied_acaps) in
+  pr "sliced" 1 m_sliced (Printf.sprintf "  identical=%b" sliced_identical);
+  record "sliced" 1 m_sliced sliced_identical;
   let savings = 100.0 *. (1.0 -. (m_sliced.minor /. m_copied.minor)) in
   Printf.printf "sliced minor-heap savings vs copied: %.1f%% (target >= 30%%)\n%!"
     savings;
@@ -113,10 +141,11 @@ let () =
   let fused_flows, m_fused =
     measure (fun () -> Analysis.Digest.pcap_to_flows buf)
   in
+  let fused_identical = check (fused_flows = baseline_flows) in
   pr "fused" 1 m_fused
-    (Printf.sprintf "  identical=%b (%d flows)"
-       (check (fused_flows = baseline_flows))
+    (Printf.sprintf "  identical=%b (%d flows)" fused_identical
        (List.length fused_flows));
+  record "fused" 1 m_fused fused_identical;
   (* Parallel: wall clock only (allocation spreads across domains), but
      the bit-identical guarantee must hold at every pool size. *)
   List.iter
@@ -125,20 +154,67 @@ let () =
           let acaps, m =
             measure (fun () -> Analysis.Digest.pcap_to_acaps ~pool buf)
           in
+          let identical = check (acaps = copied_acaps) in
           pr "sliced" n m
             (Printf.sprintf "  %5.2fx  identical=%b"
                (m_sliced.wall /. Float.max 1e-9 m.wall)
-               (check (acaps = copied_acaps)));
+               identical);
+          record "sliced" n m identical;
           let flows, m =
             measure (fun () -> Analysis.Digest.pcap_to_flows ~pool buf)
           in
+          let identical = check (flows = baseline_flows) in
           pr "fused" n m
             (Printf.sprintf "  %5.2fx  identical=%b"
                (m_fused.wall /. Float.max 1e-9 m.wall)
-               (check (flows = baseline_flows)))))
+               identical);
+          record "fused" n m identical))
     (pool_sizes ());
+  (* Instrumentation overhead: counters are batched per range and spans
+     per stage, so disabling the registry must recover <5% wall clock on
+     the sliced decode.  min-of-3 runs on each side; the absolute floor
+     keeps sub-hundred-millisecond smoke workloads from failing on
+     scheduler noise. *)
+  let min_wall f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let _, m = measure f in
+      if m.wall < !best then best := m.wall
+    done;
+    !best
+  in
+  Obs.Registry.set_enabled false;
+  let t_off = min_wall (fun () -> Analysis.Digest.pcap_to_acaps buf) in
+  Obs.Registry.set_enabled true;
+  let t_on = min_wall (fun () -> Analysis.Digest.pcap_to_acaps buf) in
+  let overhead_pct = 100.0 *. (t_on -. t_off) /. Float.max 1e-9 t_off in
+  Printf.printf
+    "metrics overhead on sliced decode: %.3f s off, %.3f s on, %+.2f%% \
+     (budget < 5%%)\n%!"
+    t_off t_on overhead_pct;
+  let overhead_failed = overhead_pct > 5.0 && t_on -. t_off > 0.02 in
+  write_json "BENCH_decode.json"
+    [
+      ("bench", Obs.Export.Json.Str "decode");
+      ("frames", Obs.Export.Json.Num (float_of_int frames));
+      ("capture_bytes", Obs.Export.Json.Num (float_of_int (Bytes.length buf)));
+      ("runs", Obs.Export.Json.Arr (List.rev !json_runs));
+      ("sliced_minor_savings_pct", Obs.Export.Json.Num savings);
+      ( "metrics_overhead",
+        Obs.Export.Json.Obj
+          [
+            ("disabled_wall_s", Obs.Export.Json.Num t_off);
+            ("enabled_wall_s", Obs.Export.Json.Num t_on);
+            ("pct", Obs.Export.Json.Num overhead_pct);
+          ] );
+    ];
   if not !ok then begin
     Printf.printf "FAIL: sliced/fused output diverged from the copying path\n";
+    exit 1
+  end;
+  if overhead_failed then begin
+    Printf.printf "FAIL: metrics overhead %.2f%% exceeds the 5%% budget\n"
+      overhead_pct;
     exit 1
   end;
   if savings < 30.0 then

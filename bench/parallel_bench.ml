@@ -20,9 +20,26 @@ let pool_sizes () =
   | None -> [ 2; 4 ]
 
 let time f =
+  let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  (r, wall, Gc.minor_words () -. m0)
+
+(* Machine-readable results (CI uploads BENCH_parallel.json). *)
+let json_runs : Obs.Export.Json.t list ref = ref []
+
+let record label domains wall minor identical =
+  json_runs :=
+    Obs.Export.Json.Obj
+      [
+        ("label", Obs.Export.Json.Str label);
+        ("domains", Obs.Export.Json.Num (float_of_int domains));
+        ("wall_s", Obs.Export.Json.Num wall);
+        ("minor_words", Obs.Export.Json.Num minor);
+        ("identical", Obs.Export.Json.Bool identical);
+      ]
+    :: !json_runs
 
 let run () =
   let frames = getenv_int "PATCHWORK_BENCH_FRAMES" 30_000 in
@@ -43,17 +60,19 @@ let run () =
     (float_of_int (Bytes.length buf) /. 1e6)
     (Domain.recommended_domain_count ());
   (* Digest: pcap -> acap dissection. *)
-  let seq_acaps, t_seq = time (fun () -> Analysis.Digest.pcap_to_acaps buf) in
+  let seq_acaps, t_seq, m_seq = time (fun () -> Analysis.Digest.pcap_to_acaps buf) in
   Printf.printf "digest       %2d domain(s)  %7.3f s\n%!" 1 t_seq;
+  record "digest" 1 t_seq m_seq true;
   List.iter
     (fun n ->
       Parallel.Pool.with_pool ~size:n (fun pool ->
-          let acaps, t =
+          let acaps, t, m =
             time (fun () -> Analysis.Digest.pcap_to_acaps ~pool buf)
           in
+          let identical = acaps = seq_acaps in
           Printf.printf "digest       %2d domain(s)  %7.3f s  %5.2fx  identical=%b\n%!"
-            n t (t_seq /. Float.max 1e-9 t)
-            (acaps = seq_acaps)))
+            n t (t_seq /. Float.max 1e-9 t) identical;
+          record "digest" n t m identical))
     sizes;
   (* Flow aggregation: per-sample groups with mixed sampling fractions,
      replicated so the table work dominates timer noise. *)
@@ -63,18 +82,34 @@ let run () =
       (Parallel.Pool.chunk ~chunk_size:2_000 seq_acaps)
   in
   let groups = List.concat (List.init 10 (fun _ -> base_groups)) in
-  let seq_flows, t_seq =
+  let seq_flows, t_seq, m_seq =
     time (fun () -> Analysis.Flows.aggregate ~weights:groups [])
   in
   Printf.printf "flows        %2d domain(s)  %7.3f s  (%d groups, %d flows)\n%!" 1
     t_seq (List.length groups) (List.length seq_flows);
+  record "flows" 1 t_seq m_seq true;
   List.iter
     (fun n ->
       Parallel.Pool.with_pool ~size:n (fun pool ->
-          let flows, t =
+          let flows, t, m =
             time (fun () -> Analysis.Flows.aggregate ~pool ~weights:groups [])
           in
+          let identical = flows = seq_flows in
           Printf.printf "flows        %2d domain(s)  %7.3f s  %5.2fx  identical=%b\n%!"
-            n t (t_seq /. Float.max 1e-9 t)
-            (flows = seq_flows)))
-    sizes
+            n t (t_seq /. Float.max 1e-9 t) identical;
+          record "flows" n t m identical))
+    sizes;
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Obs.Export.Json.to_string
+           (Obs.Export.Json.Obj
+              [
+                ("bench", Obs.Export.Json.Str "parallel");
+                ("frames", Obs.Export.Json.Num (float_of_int frames));
+                ("runs", Obs.Export.Json.Arr (List.rev !json_runs));
+              ]));
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_parallel.json\n%!"

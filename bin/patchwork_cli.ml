@@ -7,9 +7,13 @@
      dissect   dissect a pcap/pcapng file and print abstract captures
      generate  synthesize a pcap of FABRIC-style traffic
      analyze   run the offline pipeline over a capture and emit CSVs
+     report    render the per-occasion span tree + drop/loss attribution
      release   anonymize + truncate a capture for public release
      capacity  query the capture-path capacity models
-*)
+
+   profile/analyze/weekly accept --metrics-out FILE (and
+   --metrics-format json|prom) to dump the run's metrics registry and
+   span trees; report renders such a JSON snapshot. *)
 
 open Cmdliner
 
@@ -31,7 +35,70 @@ let with_domains domains f =
   in
   Parallel.Pool.with_pool ~size f
 
+(* --- metrics snapshot output (shared by profile/analyze/weekly) --- *)
+
+let metrics_out_arg =
+  let doc =
+    "Write a metrics snapshot (registry counters/gauges/histograms plus \
+     the finished span trees) to $(docv) when the command completes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_format_arg =
+  let doc =
+    "Snapshot format: $(b,json) (metrics plus span tree, readable by the \
+     $(b,report) subcommand) or $(b,prom) (Prometheus text exposition; \
+     spans are omitted)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+
+let write_metrics out format =
+  match out with
+  | None -> ()
+  | Some path ->
+    let snap = Obs.Registry.snapshot Obs.Registry.default in
+    let body =
+      match format with
+      | `Json ->
+        Obs.Export.to_json_string ~spans:(Obs.Span.roots Obs.Span.default) snap
+      | `Prom -> Obs.Export.to_prometheus snap
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc body;
+        output_char oc '\n');
+    Printf.printf "wrote metrics snapshot to %s\n" path
+
 (* --- profile --- *)
+
+let run_profile_occasion ~seed ~hours ~site ~max_frames pool =
+  let start_time = 100.0 *. Netcore.Timebase.day in
+  let engine = Simcore.Engine.create ~start_time () in
+  let fabric = Testbed.Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create fabric ~seed in
+  let mode =
+    match site with
+    | None -> Patchwork.Config.All_experiments
+    | Some s ->
+      Patchwork.Config.Single_experiment
+        [ (s, Testbed.Fablib.all_ports fabric ~site:s) ]
+  in
+  let config =
+    {
+      Patchwork.Config.default with
+      Patchwork.Config.mode;
+      max_frames_per_sample = max_frames;
+      samples_per_run = 4;
+      pool_size = Parallel.Pool.size pool;
+    }
+  in
+  Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool ~start_time
+    ~duration:(hours *. Netcore.Timebase.hour) ()
 
 let profile_cmd =
   let hours =
@@ -53,55 +120,35 @@ let profile_cmd =
     let doc = "Materialization budget per 20s sample." in
     Arg.(value & opt int 5000 & info [ "max-frames" ] ~docv:"N" ~doc)
   in
-  let run seed hours site csv_dir max_frames domains =
-    with_domains domains @@ fun pool ->
-    let start_time = 100.0 *. Netcore.Timebase.day in
-    let engine = Simcore.Engine.create ~start_time () in
-    let fabric = Testbed.Fablib.create ~seed engine in
-    let driver = Traffic.Driver.create fabric ~seed in
-    let mode =
-      match site with
-      | None -> Patchwork.Config.All_experiments
-      | Some s ->
-        Patchwork.Config.Single_experiment
-          [ (s, Testbed.Fablib.all_ports fabric ~site:s) ]
-    in
-    let config =
-      {
-        Patchwork.Config.default with
-        Patchwork.Config.mode;
-        max_frames_per_sample = max_frames;
-        samples_per_run = 4;
-        pool_size = Parallel.Pool.size pool;
-      }
-    in
-    let report =
-      Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
-        ~start_time ~duration:(hours *. Netcore.Timebase.hour) ()
-    in
-    List.iter
-      (fun (s : Patchwork.Coordinator.site_report) ->
-        Printf.printf "%-6s %-10s %4d samples\n" s.Patchwork.Coordinator.report_site
-          (match s.Patchwork.Coordinator.outcome with
-          | Patchwork.Coordinator.Site_success -> "success"
-          | Patchwork.Coordinator.Site_degraded -> "degraded"
-          | Patchwork.Coordinator.Site_failed m -> "failed: " ^ m
-          | Patchwork.Coordinator.Site_incomplete m -> "incomplete: " ^ m)
-          (List.length s.Patchwork.Coordinator.site_samples))
-      report.Patchwork.Coordinator.sites;
-    let profile = Analysis.Profile.of_reports ~pool [ report ] in
-    Format.printf "%a" Analysis.Profile.pp_summary profile;
-    match csv_dir with
-    | None -> ()
-    | Some dir ->
-      let files = Analysis.Profile.write_csv_files profile ~dir in
-      Printf.printf "wrote %s under %s\n" (String.concat ", " files) dir
+  let run seed hours site csv_dir max_frames domains metrics_out metrics_format =
+    (with_domains domains @@ fun pool ->
+     let report = run_profile_occasion ~seed ~hours ~site ~max_frames pool in
+     List.iter
+       (fun (s : Patchwork.Coordinator.site_report) ->
+         Printf.printf "%-6s %-10s %4d samples\n" s.Patchwork.Coordinator.report_site
+           (match s.Patchwork.Coordinator.outcome with
+           | Patchwork.Coordinator.Site_success -> "success"
+           | Patchwork.Coordinator.Site_degraded -> "degraded"
+           | Patchwork.Coordinator.Site_failed m -> "failed: " ^ m
+           | Patchwork.Coordinator.Site_incomplete m -> "incomplete: " ^ m)
+           (List.length s.Patchwork.Coordinator.site_samples))
+       report.Patchwork.Coordinator.sites;
+     let profile = Analysis.Profile.of_reports ~pool [ report ] in
+     Format.printf "%a" Analysis.Profile.pp_summary profile;
+     match csv_dir with
+     | None -> ()
+     | Some dir ->
+       let files = Analysis.Profile.write_csv_files profile ~dir in
+       Printf.printf "wrote %s under %s\n" (String.concat ", " files) dir);
+    write_metrics metrics_out metrics_format
   in
   let info =
     Cmd.info "profile" ~doc:"Run a profiling occasion on the simulated federation"
   in
   Cmd.v info
-    Term.(const run $ seed_arg $ hours $ site $ csv_dir $ max_frames $ domains_arg)
+    Term.(
+      const run $ seed_arg $ hours $ site $ csv_dir $ max_frames $ domains_arg
+      $ metrics_out_arg $ metrics_format_arg)
 
 (* --- dissect --- *)
 
@@ -224,8 +271,8 @@ let analyze_cmd =
            (Analysis.Report.flow_rows flows));
       Printf.printf "wrote flows.csv under %s\n" dir
   in
-  let run file csv_dir fused domains =
-    with_domains domains @@ fun pool ->
+  let run file csv_dir fused domains metrics_out metrics_format =
+    (with_domains domains @@ fun pool ->
     if fused then run_fused file csv_dir pool
     else begin
     let acaps = Analysis.Digest.pcap_file_to_acaps ~pool file in
@@ -254,10 +301,14 @@ let analyze_cmd =
         (Analysis.Report.csv_of_rows ~header:[ "bin"; "count"; "fraction" ]
            (Analysis.Report.histogram_rows h));
       Printf.printf "wrote CSVs under %s\n" dir
-    end
+    end);
+    write_metrics metrics_out metrics_format
   in
   let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
-  Cmd.v info Term.(const run $ file $ csv_dir $ fused $ domains_arg)
+  Cmd.v info
+    Term.(
+      const run $ file $ csv_dir $ fused $ domains_arg $ metrics_out_arg
+      $ metrics_format_arg)
 
 (* --- weekly --- *)
 
@@ -278,11 +329,11 @@ let weekly_cmd =
       value & opt string "weekly-profile"
       & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for CSVs and figures.")
   in
-  let run seed weeks start_day hours out domains =
+  let run seed weeks start_day hours out domains metrics_out metrics_format =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
-    with_domains domains @@ fun pool ->
+    (with_domains domains @@ fun pool ->
     let builder = Analysis.Profile.Builder.create () in
     for w = 0 to weeks - 1 do
       let day = start_day + (7 * w) in
@@ -323,14 +374,17 @@ let weekly_cmd =
     let csvs = Analysis.Profile.write_csv_files profile ~dir:out in
     let figs = Analysis.Figures.write_profile_figures profile ~dir:out in
     Printf.printf "wrote %d CSVs and %d figures under %s\n"
-      (List.length csvs) (List.length figs) out
+      (List.length csvs) (List.length figs) out);
+    write_metrics metrics_out metrics_format
   in
   let info =
     Cmd.info "weekly"
       ~doc:"Run the weekly profiling service and refresh the cumulative profile"
   in
   Cmd.v info
-    Term.(const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg)
+    Term.(
+      const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
+      $ metrics_out_arg $ metrics_format_arg)
 
 (* --- release --- *)
 
@@ -400,6 +454,154 @@ let release_cmd =
   in
   Cmd.v info Term.(const run $ input $ output $ key $ snaplen)
 
+(* --- report --- *)
+
+module J = Obs.Export.Json
+
+let rec print_span ~indent j =
+  let str k = Option.bind (J.member k j) J.to_str in
+  let num k = Option.bind (J.member k j) J.to_float in
+  let name = Option.value ~default:"?" (str "name") in
+  let wall = Option.value ~default:0.0 (num "wall_s") in
+  let minor = Option.value ~default:0.0 (num "minor_words") in
+  let notes =
+    match J.member "notes" j with
+    | Some (J.Obj kvs) ->
+      String.concat ""
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "  %s=%s" k (Option.value ~default:"?" (J.to_str v)))
+           kvs)
+    | _ -> ""
+  in
+  let label = String.make indent ' ' ^ name in
+  Printf.printf "  %-34s %10.3f ms %14.0f minor words%s\n" label (wall *. 1e3)
+    minor notes;
+  match J.member "children" j with
+  | Some (J.Arr children) -> List.iter (print_span ~indent:(indent + 2)) children
+  | _ -> ()
+
+(* Per-site drop/loss attribution from the capture counters: where along
+   the mirror -> switch -> host path frames were lost (Fig. 9's loss
+   taxonomy, aggregated per site). *)
+let print_attribution metrics =
+  let sites = Hashtbl.create 8 in
+  let site_row site =
+    match Hashtbl.find_opt sites site with
+    | Some r -> r
+    | None ->
+      let r = Array.make 4 0.0 in
+      Hashtbl.add sites site r;
+      r
+  in
+  let col = function
+    | "capture_offered_frames_total" -> Some 0
+    | "capture_switch_dropped_frames_total" -> Some 1
+    | "capture_host_dropped_frames_total" -> Some 2
+    | "capture_frames_total" -> Some 3
+    | _ -> None
+  in
+  List.iter
+    (fun m ->
+      match Option.bind (J.member "name" m) J.to_str with
+      | None -> ()
+      | Some name -> (
+        match
+          ( col name,
+            Option.bind (J.member "labels" m) (J.member "site")
+            |> Fun.flip Option.bind J.to_str,
+            Option.bind (J.member "value" m) J.to_float )
+        with
+        | Some c, Some site, Some v -> (site_row site).(c) <- v
+        | _ -> ()))
+    metrics;
+  if Hashtbl.length sites = 0 then
+    print_endline "no capture counters in snapshot (analyze-only run)"
+  else begin
+    print_endline "drop/loss attribution:";
+    Printf.printf "  %-8s %12s %12s %12s %12s %8s\n" "site" "offered"
+      "switch-drop" "host-drop" "captured" "loss%";
+    let rows =
+      List.sort compare
+        (Hashtbl.fold (fun site r acc -> (site, r) :: acc) sites [])
+    in
+    let totals = Array.make 4 0.0 in
+    List.iter
+      (fun (site, (r : float array)) ->
+        Array.iteri (fun i v -> totals.(i) <- totals.(i) +. v) r;
+        let loss =
+          if r.(0) > 0.0 then 100.0 *. (r.(1) +. r.(2)) /. r.(0) else 0.0
+        in
+        Printf.printf "  %-8s %12.0f %12.0f %12.0f %12.0f %7.2f%%\n" site r.(0)
+          r.(1) r.(2) r.(3) loss)
+      rows;
+    let loss =
+      if totals.(0) > 0.0 then
+        100.0 *. (totals.(1) +. totals.(2)) /. totals.(0)
+      else 0.0
+    in
+    Printf.printf "  %-8s %12.0f %12.0f %12.0f %12.0f %7.2f%%\n" "TOTAL"
+      totals.(0) totals.(1) totals.(2) totals.(3) loss
+  end
+
+let render_report doc =
+  (match J.member "spans" doc with
+  | Some (J.Arr (_ :: _ as spans)) ->
+    print_endline "spans:";
+    List.iter (print_span ~indent:0) spans
+  | _ -> print_endline "no spans in snapshot");
+  print_newline ();
+  match J.member "metrics" doc with
+  | Some (J.Arr metrics) -> print_attribution metrics
+  | _ -> print_endline "no metrics in snapshot"
+
+let report_cmd =
+  let infile =
+    let doc =
+      "Render a previously written JSON metrics snapshot (the file from \
+       $(b,--metrics-out)) instead of running a fresh occasion."
+    in
+    Arg.(value & opt (some file) None & info [ "in" ] ~docv:"FILE" ~doc)
+  in
+  let hours =
+    let doc = "Simulated occasion duration when running live, in hours." in
+    Arg.(value & opt float 2.0 & info [ "hours" ] ~docv:"H" ~doc)
+  in
+  let site =
+    let doc = "Profile only this site when running live." in
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SITE" ~doc)
+  in
+  let run seed hours site infile domains =
+    let doc =
+      match infile with
+      | Some path ->
+        let ic = open_in_bin path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match J.parse text with
+        | Ok doc -> doc
+        | Error msg -> failwith (path ^ ": " ^ msg))
+      | None ->
+        (* Run one occasion and report on its live spans and counters. *)
+        (with_domains domains @@ fun pool ->
+         ignore (run_profile_occasion ~seed ~hours ~site ~max_frames:2000 pool));
+        Obs.Export.json_of_snapshot
+          ~spans:(Obs.Span.roots Obs.Span.default)
+          (Obs.Registry.snapshot Obs.Registry.default)
+    in
+    render_report doc
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Render the per-occasion span tree and drop/loss attribution from a \
+         metrics snapshot (or from a fresh occasion)"
+  in
+  Cmd.v info Term.(const run $ seed_arg $ hours $ site $ infile $ domains_arg)
+
 (* --- capacity --- *)
 
 let capacity_cmd =
@@ -429,5 +631,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ profile_cmd; weekly_cmd; dissect_cmd; generate_cmd; analyze_cmd; release_cmd;
-            capacity_cmd ]))
+          [ profile_cmd; weekly_cmd; dissect_cmd; generate_cmd; analyze_cmd;
+            report_cmd; release_cmd; capacity_cmd ]))

@@ -11,14 +11,36 @@ let range_to_acaps buf idx ~lo ~hi =
   in
   go (hi - 1) []
 
+(* Decode counters are bumped once per capture (never per packet), so
+   the instrumented fast path stays within the bench's 5%-overhead
+   budget. *)
+let obs_packets =
+  Obs.Registry.counter Obs.Registry.default "packets_total"
+    ~help:"Packets decoded by the offline digest"
+    ~labels:[ ("stage", "digest") ]
+
+let obs_capture_bytes =
+  Obs.Registry.counter Obs.Registry.default "capture_bytes_total"
+    ~help:"Capture-buffer bytes fed to the offline digest"
+
+let record_decode buf idx =
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.inc obs_packets (float_of_int (Array.length idx));
+    Obs.Registry.inc obs_capture_bytes (float_of_int (Bytes.length buf))
+  end
+
 let pcap_to_acaps ?(pool = Parallel.Pool.sequential) buf =
   (* Accepts both classic pcap and pcapng.  Dissection is pure and range
      results concatenate in range order, so the output is identical at
      any pool size or range partition. *)
-  let idx = Packet.Pcapng.index_any buf in
-  List.concat
-    (Parallel.Pool.map_ranges pool ~n:(Array.length idx)
-       (range_to_acaps buf idx))
+  let idx =
+    Obs.Span.timed ~stage:"digest.index" (fun () -> Packet.Pcapng.index_any buf)
+  in
+  record_decode buf idx;
+  Obs.Span.timed ~stage:"digest.dissect" (fun () ->
+      List.concat
+        (Parallel.Pool.map_ranges pool ~n:(Array.length idx)
+           (range_to_acaps buf idx)))
 
 let pcap_to_acaps_copying ?(pool = Parallel.Pool.sequential) buf =
   (* The pre-index materializing path: every packet is copied out of the
@@ -33,14 +55,18 @@ let pcap_to_flows ?(pool = Parallel.Pool.sequential) buf =
      instead of O(packets).  Shard merging is exact at unit weight and
      order-insensitive, hence bit-identical to aggregating the acap
      list whatever the chunking. *)
-  let idx = Packet.Pcapng.index_any buf in
+  let idx =
+    Obs.Span.timed ~stage:"digest.index" (fun () -> Packet.Pcapng.index_any buf)
+  in
+  record_decode buf idx;
   let shards =
-    Parallel.Pool.map_ranges pool ~n:(Array.length idx) (fun ~lo ~hi ->
-        let shard = Flows.Shard.create () in
-        for i = lo to hi - 1 do
-          Flows.Shard.add shard (Dissect.Acap.of_entry buf idx.(i))
-        done;
-        shard)
+    Obs.Span.timed ~stage:"digest.fuse" (fun () ->
+        Parallel.Pool.map_ranges pool ~n:(Array.length idx) (fun ~lo ~hi ->
+            let shard = Flows.Shard.create () in
+            for i = lo to hi - 1 do
+              Flows.Shard.add shard (Dissect.Acap.of_entry buf idx.(i))
+            done;
+            shard))
   in
   Flows.merge (List.map (fun s -> (s, 1.0)) shards)
 

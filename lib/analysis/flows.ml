@@ -63,11 +63,24 @@ let shard_group (records, fraction) =
   List.iter (Shard.add table) records;
   (table, fraction)
 
+let obs_flows =
+  Obs.Registry.counter Obs.Registry.default "flows_total"
+    ~help:"Distinct flows produced by merges"
+
+let obs_flow_frames =
+  Obs.Registry.counter Obs.Registry.default "flow_frames_total"
+    ~help:"Weighted frames aggregated into flow summaries"
+
+let obs_flow_bytes =
+  Obs.Registry.counter Obs.Registry.default "flow_bytes_total"
+    ~help:"Weighted bytes aggregated into flow summaries"
+
 (* Merge shard tables in list order.  Per-key sums are exact integers
    until weighting, min/max/or are order-independent, and the final sort
    breaks byte ties on the flow key, so the result depends only on the
    multiset of records per weight — never on how they were sharded. *)
 let merge_shards shards =
+  Obs.Span.timed ~stage:"flows.merge" @@ fun () ->
   let table : (string, acc) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
     (fun ((shard : Shard.t), fraction) ->
@@ -106,22 +119,36 @@ let merge_shards shards =
           entry.a_rst <- entry.a_rst || s.s_rst)
         shard)
     shards;
-  Hashtbl.fold
-    (fun key e acc ->
-      {
-        flow_key = key;
-        frames = e.a_frames;
-        bytes = e.a_bytes;
-        first_seen = e.a_first;
-        last_seen = e.a_last;
-        rst_seen = e.a_rst;
-      }
-      :: acc)
-    table []
-  |> List.sort (fun a b ->
-         match compare b.bytes a.bytes with
-         | 0 -> compare a.flow_key b.flow_key
-         | c -> c)
+  let summaries =
+    Hashtbl.fold
+      (fun key e acc ->
+        {
+          flow_key = key;
+          frames = e.a_frames;
+          bytes = e.a_bytes;
+          first_seen = e.a_first;
+          last_seen = e.a_last;
+          rst_seen = e.a_rst;
+        }
+        :: acc)
+      table []
+    |> List.sort (fun a b ->
+           match compare b.bytes a.bytes with
+           | 0 -> compare a.flow_key b.flow_key
+           | c -> c)
+  in
+  (* One batch of counter bumps per merge, never per record. *)
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.inc obs_flows (float_of_int (List.length summaries));
+    let frames, bytes =
+      List.fold_left
+        (fun (f, b) s -> (f +. s.frames, b +. s.bytes))
+        (0.0, 0.0) summaries
+    in
+    Obs.Registry.inc obs_flow_frames frames;
+    Obs.Registry.inc obs_flow_bytes bytes
+  end;
+  summaries
 
 let merge = merge_shards
 

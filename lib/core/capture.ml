@@ -23,6 +23,58 @@ type sample = {
   stats : stats;
 }
 
+(* Aggregate capture counters, registered at module init so the
+   families exist (at zero) in every snapshot — the offline analyze
+   path never runs a capture but its metrics dump still shows the
+   switch/host drop series.  Per-site series are registered on first
+   use. *)
+let obs_offered =
+  Obs.Registry.counter Obs.Registry.default "capture_offered_frames_total"
+    ~help:"Frames offered to the mirror across all sites"
+
+let obs_switch_dropped =
+  Obs.Registry.counter Obs.Registry.default "capture_switch_dropped_frames_total"
+    ~help:"Frames dropped at the switch mirror (egress overflow)"
+
+let obs_host_dropped =
+  Obs.Registry.counter Obs.Registry.default "capture_host_dropped_frames_total"
+    ~help:"Frames dropped at the capture host (capacity exceeded)"
+
+let obs_captured =
+  Obs.Registry.counter Obs.Registry.default "capture_frames_total"
+    ~help:"Frames captured and stored"
+
+let obs_stored_bytes =
+  Obs.Registry.counter Obs.Registry.default "capture_stored_bytes_total"
+    ~help:"Bytes written to capture storage"
+
+let obs_congestion =
+  Obs.Registry.counter Obs.Registry.default "capture_congestion_samples_total"
+    ~help:"Samples taken while the mirror channel was congested"
+
+let site_counter name site =
+  Obs.Registry.counter Obs.Registry.default name ~labels:[ ("site", site) ]
+
+let record_sample_metrics ~site ~offered ~switch_dropped ~host_dropped ~captured
+    ~stored ~congested =
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.inc obs_offered offered;
+    Obs.Registry.inc obs_switch_dropped switch_dropped;
+    Obs.Registry.inc obs_host_dropped host_dropped;
+    Obs.Registry.inc obs_captured captured;
+    Obs.Registry.inc obs_stored_bytes stored;
+    Obs.Registry.inc (site_counter "capture_offered_frames_total" site) offered;
+    Obs.Registry.inc
+      (site_counter "capture_switch_dropped_frames_total" site)
+      switch_dropped;
+    Obs.Registry.inc (site_counter "capture_host_dropped_frames_total" site) host_dropped;
+    Obs.Registry.inc (site_counter "capture_frames_total" site) captured;
+    if congested then begin
+      Obs.Registry.incr obs_congestion;
+      Obs.Registry.incr (site_counter "capture_congestion_samples_total" site)
+    end
+  end
+
 let method_capacity_pps (config : Config.t) =
   let p = config.Config.host_profile in
   match config.Config.capture_method with
@@ -157,6 +209,9 @@ let run ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror ~mirrored_port
         frames)
     specs;
   let acaps = List.sort (fun a b -> compare a.Dissect.Acap.ts b.Dissect.Acap.ts) !acaps in
+  record_sample_metrics ~site ~offered:offered_frames ~switch_dropped
+    ~host_dropped ~captured:captured_frames ~stored:stored_bytes
+    ~congested:congestion_detected;
   {
     sample_site = site;
     sample_port = mirrored_port;

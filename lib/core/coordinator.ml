@@ -25,6 +25,22 @@ type occasion_report = {
   log : Logging.t;
 }
 
+(* Occasion-level observability (the Fig.-10 success/failure series). *)
+let obs_occasions =
+  Obs.Registry.counter Obs.Registry.default "occasions_total"
+    ~help:"Profiling occasions run"
+
+let outcome_label = function
+  | Site_success -> "success"
+  | Site_degraded -> "degraded"
+  | Site_failed _ -> "failed"
+  | Site_incomplete _ -> "incomplete"
+
+let obs_site_outcome outcome =
+  Obs.Registry.counter Obs.Registry.default "occasion_sites_total"
+    ~help:"Per-site occasion outcomes (Fig. 10)"
+    ~labels:[ ("outcome", outcome_label outcome) ]
+
 let desired_instances_for fabric ~site ~max_instances =
   let a = Allocator.available (Fablib.allocator fabric) ~site in
   max 1 (min max_instances a.Allocator.avail_dedicated_nics)
@@ -165,13 +181,21 @@ let run_occasion ~fabric ~driver ~config ?pool ?(max_instances = 2) ~start_time
   let log = Logging.create () in
   let rng = Netcore.Rng.split (Fablib.rng fabric) in
   let until = start_time +. duration in
+  (* The whole occasion is one span; each workflow phase of §6.2 is a
+     child span, so `patchwork_cli report` can attribute wall time (and
+     allocation) per phase. *)
+  let tracer = Obs.Span.default in
+  Obs.Span.with_span tracer "occasion" @@ fun occ ->
+  Obs.Span.annotate occ "start_time" (Printf.sprintf "%.0f" start_time);
+  Obs.Span.annotate occ "duration_s" (Printf.sprintf "%.0f" duration);
   (* Phase 0: the substrate — telemetry polling and the traffic the
      researchers are generating. *)
-  Fablib.start_telemetry ~until fabric;
-  Traffic.Driver.start driver ~until;
-  (* Give telemetry a short warm-up so busiest-port ranking has data:
-     run the engine to the start time plus two polls. *)
-  Simcore.Engine.run ~until:(start_time +. 601.0) engine;
+  Obs.Span.with_span tracer "occasion.substrate" (fun _ ->
+      Fablib.start_telemetry ~until fabric;
+      Traffic.Driver.start driver ~until;
+      (* Give telemetry a short warm-up so busiest-port ranking has
+         data: run the engine to the start time plus two polls. *)
+      Simcore.Engine.run ~until:(start_time +. 601.0) engine);
   (* Phase 1: setup at each target site. *)
   let targets =
     match config.Config.mode with
@@ -183,36 +207,58 @@ let run_occasion ~fabric ~driver ~config ?pool ?(max_instances = 2) ~start_time
       List.map (fun (site, ports) -> (site, Some ports)) sites
   in
   let runs =
-    List.map
-      (fun (site, only_ports) ->
-        setup_site ~fabric ~driver ~config ~log ~rng ~max_instances ~site
-          ~only_ports)
-      targets
+    Obs.Span.with_span tracer "occasion.setup" (fun sp ->
+        Obs.Span.annotate sp "sites" (string_of_int (List.length targets));
+        List.map
+          (fun (site, only_ports) ->
+            setup_site ~fabric ~driver ~config ~log ~rng ~max_instances ~site
+              ~only_ports)
+          targets)
   in
   (* Phase 2: sampling. *)
-  List.iter
-    (fun run -> List.iter (fun i -> Instance.start i ~until) run.sr_instances)
-    runs;
-  Simcore.Engine.run ~until engine;
+  Obs.Span.with_span tracer "occasion.sampling" (fun _ ->
+      List.iter
+        (fun run -> List.iter (fun i -> Instance.start i ~until) run.sr_instances)
+        runs;
+      Simcore.Engine.run ~until engine);
   (* Phase 3: gathering — collect artifacts, yield resources back.
      Per-site gathering only reads instance state (the engine stopped at
      [until]), so it fans out across the pool; [Parallel.Pool.map]
      preserves site order. *)
-  let gather p = Parallel.Pool.map p gather_site runs in
   let reports =
-    match pool with
-    | Some p -> gather p
-    | None ->
-      if config.Config.pool_size > 1 then
-        Parallel.Pool.with_pool ~size:config.Config.pool_size gather
-      else List.map gather_site runs
+    Obs.Span.with_span tracer "occasion.gather" (fun _ ->
+        let gather p = Parallel.Pool.map p gather_site runs in
+        match pool with
+        | Some p -> gather p
+        | None ->
+          if config.Config.pool_size > 1 then
+            Parallel.Pool.with_pool ~size:config.Config.pool_size gather
+          else List.map gather_site runs)
   in
+  Obs.Span.with_span tracer "occasion.teardown" (fun _ ->
+      List.iter
+        (fun run ->
+          match run.sr_slice with
+          | Some slice -> Allocator.delete_slice (Fablib.allocator fabric) slice
+          | None -> ())
+        runs);
+  (* Success/failure series plus the telemetry bridge: the simulated
+     SNMP state of every polled switch surfaces through the same
+     registry as the pipeline's own metrics. *)
+  Obs.Registry.incr obs_occasions;
+  let ok = ref 0 in
   List.iter
-    (fun run ->
-      match run.sr_slice with
-      | Some slice -> Allocator.delete_slice (Fablib.allocator fabric) slice
-      | None -> ())
-    runs;
+    (fun r ->
+      (match r.outcome with
+      | Site_success | Site_degraded -> incr ok
+      | Site_failed _ | Site_incomplete _ -> ());
+      Obs.Registry.incr (obs_site_outcome r.outcome))
+    reports;
+  Obs.Span.annotate occ "sites_ok"
+    (Printf.sprintf "%d/%d" !ok (List.length reports));
+  Obs.Span.annotate occ "log_warnings"
+    (string_of_int (Logging.count ~min_level:Logging.Warning log));
+  Testbed.Telemetry.export_metrics (Fablib.telemetry fabric);
   { occasion_start = start_time; occasion_duration = duration; sites = reports; log }
 
 let all_samples report = List.concat_map (fun r -> r.site_samples) report.sites

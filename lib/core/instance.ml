@@ -23,6 +23,9 @@ type t = {
 
 let name t = Printf.sprintf "%s/instance-%d" t.site t.instance_id
 
+let obs_counter name site =
+  Obs.Registry.counter Obs.Registry.default name ~labels:[ ("site", site) ]
+
 let create ~fabric ~resolver ~config ~log ~rng ~site ~instance_id ~nic_port
     ~candidates ~storage_bytes =
   let uplinks = Fablib.uplink_ports fabric ~site in
@@ -62,6 +65,7 @@ let log_event t ~level event =
 let watchdog_check t =
   if t.storage_used > t.storage_bytes then begin
     t.status <- Crashed "storage exhausted";
+    Obs.Registry.incr (obs_counter "instance_crashes_total" t.site);
     log_event t ~level:Logging.Error "watchdog: instance crashed (storage exhausted)"
   end
 
@@ -109,6 +113,7 @@ and run_samples t ~mirror ~port ~remaining =
     let sw = Fablib.switch t.fabric ~site:t.site in
     Switch.remove_mirror sw mirror;
     t.cycles <- t.cycles + 1;
+    Obs.Registry.incr (obs_counter "instance_cycles_total" t.site);
     schedule_cycle t
   in
   if t.status <> Running then begin
@@ -118,6 +123,7 @@ and run_samples t ~mirror ~port ~remaining =
   else if remaining <= 0 || Simcore.Engine.now engine >= t.until then finish_cycle ()
   else if Netcore.Rng.bernoulli t.rng t.config.Config.instance_crash_prob then begin
     t.status <- Crashed "unexpected termination";
+    Obs.Registry.incr (obs_counter "instance_crashes_total" t.site);
     log_event t ~level:Logging.Error "watchdog: instance terminated unexpectedly";
     let sw = Fablib.switch t.fabric ~site:t.site in
     Switch.remove_mirror sw mirror
@@ -128,6 +134,7 @@ and run_samples t ~mirror ~port ~remaining =
         ~site:t.site ~mirror ~mirrored_port:port
     in
     t.samples <- sample :: t.samples;
+    Obs.Registry.incr (obs_counter "instance_samples_total" t.site);
     t.storage_used <- t.storage_used +. sample.Capture.stats.Capture.stored_bytes;
     if sample.Capture.stats.Capture.congestion_detected then
       log_event t ~level:Logging.Warning

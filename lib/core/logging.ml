@@ -2,21 +2,67 @@ type level = Debug | Info | Warning | Error
 
 type entry = { time : float; level : level; component : string; event : string }
 
-type t = { mutable entries : entry list (* newest first *) }
-
-let create () = { entries = [] }
-
-let log t ~time ~level ~component event =
-  t.entries <- { time; level; component; event } :: t.entries
-
-let entries t = List.rev t.entries
-
 let severity = function Debug -> 0 | Info -> 1 | Warning -> 2 | Error -> 3
 
-let count ?(min_level = Debug) t =
-  List.length (List.filter (fun e -> severity e.level >= severity min_level) t.entries)
+(* Two storage modes behind one API: unbounded (a list, newest first, as
+   before) or a fixed-capacity ring that evicts the oldest entry.  The
+   per-level counters count every logged event — including evicted ones
+   — so [count] is O(1) instead of the old O(n) scan and keeps meaning
+   "events logged" in ring mode. *)
+type t = {
+  capacity : int; (* 0 = unbounded *)
+  mutable entries : entry list; (* newest first; unbounded mode *)
+  ring : entry option array; (* ring mode; [||] otherwise *)
+  mutable ring_start : int; (* index of the oldest retained entry *)
+  mutable ring_len : int;
+  counts : int array; (* per-level totals, never decremented *)
+}
 
-let errors t = List.rev (List.filter (fun e -> e.level = Error) t.entries)
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Logging.create: capacity must be >= 0";
+  {
+    capacity;
+    entries = [];
+    ring = (if capacity > 0 then Array.make capacity None else [||]);
+    ring_start = 0;
+    ring_len = 0;
+    counts = Array.make 4 0;
+  }
+
+let capacity t = t.capacity
+
+let log t ~time ~level ~component event =
+  let e = { time; level; component; event } in
+  let s = severity level in
+  t.counts.(s) <- t.counts.(s) + 1;
+  if t.capacity = 0 then t.entries <- e :: t.entries
+  else begin
+    let slot = (t.ring_start + t.ring_len) mod t.capacity in
+    t.ring.(slot) <- Some e;
+    if t.ring_len < t.capacity then t.ring_len <- t.ring_len + 1
+    else t.ring_start <- (t.ring_start + 1) mod t.capacity
+  end
+
+let entries t =
+  if t.capacity = 0 then List.rev t.entries
+  else
+    List.init t.ring_len (fun i ->
+        match t.ring.((t.ring_start + i) mod t.capacity) with
+        | Some e -> e
+        | None -> assert false (* slots [0, ring_len) are filled *))
+
+let count ?(min_level = Debug) t =
+  let s = severity min_level in
+  let total = ref 0 in
+  for i = s to 3 do
+    total := !total + t.counts.(i)
+  done;
+  !total
+
+let retained t = if t.capacity = 0 then List.length t.entries else t.ring_len
+let dropped t = count t - retained t
+
+let errors t = List.filter (fun e -> e.level = Error) (entries t)
 
 let level_name = function
   | Debug -> "DEBUG"

@@ -16,12 +16,31 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity = 0] (the default) retains every entry; a positive
+    [capacity] keeps the newest entries in a fixed-size ring buffer,
+    evicting the oldest — the long-running weekly service uses this to
+    bound memory.  Per-level counters (hence {!count}) always reflect
+    every logged event, evicted or not. *)
+
+val capacity : t -> int
 val log : t -> time:float -> level:level -> component:string -> string -> unit
+
 val entries : t -> entry list
-(** Oldest first. *)
+(** Retained entries, oldest first. *)
 
 val count : ?min_level:level -> t -> int
+(** Events logged at [min_level] or above, O(1) (includes entries a ring
+    buffer has since evicted). *)
+
+val retained : t -> int
+(** Entries currently held. *)
+
+val dropped : t -> int
+(** Events evicted by the ring buffer ([count] minus [retained]). *)
+
 val errors : t -> entry list
+(** Retained [Error] entries, oldest first. *)
+
 val level_name : level -> string
 val pp_entry : Format.formatter -> entry -> unit

@@ -20,6 +20,20 @@ type t = {
   mutable listeners : (granted:grant list -> revoked:grant list -> unit) list;
 }
 
+(* Scheduler observability: how deep the request queue sits per site
+   and how often grants churn. *)
+let pending_gauge site =
+  Obs.Registry.gauge Obs.Registry.default "mirror_pending_requests"
+    ~help:"Mirror requests waiting for a grant" ~labels:[ ("site", site) ]
+
+let grants_counter site =
+  Obs.Registry.counter Obs.Registry.default "mirror_grants_total"
+    ~help:"Mirror grants issued" ~labels:[ ("site", site) ]
+
+let revocations_counter site =
+  Obs.Registry.counter Obs.Registry.default "mirror_revocations_total"
+    ~help:"Mirror grants revoked" ~labels:[ ("site", site) ]
+
 let create engine switch ~quantum =
   if quantum <= 0.0 then invalid_arg "Mirror_scheduler.create: quantum";
   {
@@ -40,6 +54,9 @@ let submit t ~user ~src_port ~dst_port =
     { r_user = user; r_src_port = src_port; r_dst_port = dst_port }
     :: t.requests_rev;
   Hashtbl.add t.pending (user, src_port) ();
+  Obs.Registry.set
+    (pending_gauge (Switch.site_name t.switch))
+    (float_of_int (Hashtbl.length t.pending));
   if not (Hashtbl.mem t.service user) then Hashtbl.add t.service user 0.0
 
 let service_time t ~user = Option.value ~default:0.0 (Hashtbl.find_opt t.service user)
@@ -51,10 +68,14 @@ let credit t grant ~since =
 
 let revoke t (grant, since) =
   credit t grant ~since;
+  Obs.Registry.incr (revocations_counter (Switch.site_name t.switch));
   Switch.remove_mirror t.switch grant.g_mirror
 
 let cancel t ~user ~src_port =
   Hashtbl.remove t.pending (user, src_port);
+  Obs.Registry.set
+    (pending_gauge (Switch.site_name t.switch))
+    (float_of_int (Hashtbl.length t.pending));
   t.requests_rev <-
     List.filter
       (fun r -> not (r.r_user = user && r.r_src_port = src_port))
@@ -117,6 +138,7 @@ let round t =
                 ~dst_port:r.r_dst_port
             with
             | Ok mirror ->
+              Obs.Registry.incr (grants_counter (Switch.site_name t.switch));
               used_dsts := r.r_dst_port :: !used_dsts;
               new_grants :=
                 ( { g_user = r.r_user; g_src_port = r.r_src_port;

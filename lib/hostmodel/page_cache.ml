@@ -26,10 +26,19 @@ let create ~free_cache_bytes ~drain_rate ~dirty_background_ratio ~dirty_ratio =
     drained = 0.0;
   }
 
+let obs_written =
+  Obs.Registry.counter Obs.Registry.default "page_cache_written_bytes_total"
+    ~help:"Bytes written into the simulated page cache"
+
+let obs_drained =
+  Obs.Registry.counter Obs.Registry.default "page_cache_drained_bytes_total"
+    ~help:"Bytes drained from the simulated page cache by writeback"
+
 let write t bytes =
   if bytes < 0.0 then invalid_arg "Page_cache.write: negative bytes";
   t.dirty <- Float.min t.free_cache_bytes (t.dirty +. bytes);
-  t.written <- t.written +. bytes
+  t.written <- t.written +. bytes;
+  if Obs.Registry.enabled () then Obs.Registry.inc obs_written bytes
 
 let background_threshold t = t.dirty_background
 let hard_threshold t = t.dirty_hard
@@ -46,7 +55,8 @@ let advance t ~dt =
   if dirty_fraction t > t.dirty_background then begin
     let drained = Float.min t.dirty (t.drain_rate *. dt) in
     t.dirty <- t.dirty -. drained;
-    t.drained <- t.drained +. drained
+    t.drained <- t.drained +. drained;
+    if Obs.Registry.enabled () then Obs.Registry.inc obs_drained drained
   end
 
 let throttle_factor t =

@@ -1,0 +1,7 @@
+(* Wall-clock source for the whole observability layer.  Injectable so
+   tests can drive spans with a fake clock. *)
+
+let source = Atomic.make Unix.gettimeofday
+let now () = (Atomic.get source) ()
+let set_source f = Atomic.set source f
+let reset_source () = Atomic.set source Unix.gettimeofday

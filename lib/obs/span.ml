@@ -1,0 +1,152 @@
+type span = {
+  sp_name : string;
+  sp_t0 : float;
+  sp_m0 : float;
+  mutable sp_wall : float;
+  mutable sp_minor : float;
+  mutable sp_notes : (string * string) list; (* newest first *)
+  mutable sp_children : span list; (* newest first *)
+  sp_dummy : bool;
+}
+
+type t = {
+  lock : Mutex.t;
+  max_roots : int;
+  mutable stack : span list; (* innermost open span first *)
+  mutable roots : span list; (* finished roots, newest first *)
+  mutable root_count : int;
+  mutable dropped : int;
+}
+
+let create ?(max_roots = 1024) () =
+  if max_roots < 1 then invalid_arg "Obs.Span.create: max_roots must be >= 1";
+  {
+    lock = Mutex.create ();
+    max_roots;
+    stack = [];
+    roots = [];
+    root_count = 0;
+    dropped = 0;
+  }
+
+let default = create ()
+
+let dummy =
+  {
+    sp_name = "";
+    sp_t0 = 0.0;
+    sp_m0 = 0.0;
+    sp_wall = 0.0;
+    sp_minor = 0.0;
+    sp_notes = [];
+    sp_children = [];
+    sp_dummy = true;
+  }
+
+let start t ?parent name =
+  if not (Registry.enabled ()) then dummy
+  else begin
+    let sp =
+      {
+        sp_name = name;
+        sp_t0 = Clock.now ();
+        sp_m0 = Gc.minor_words ();
+        sp_wall = 0.0;
+        sp_minor = 0.0;
+        sp_notes = [];
+        sp_children = [];
+        sp_dummy = false;
+      }
+    in
+    Mutex.lock t.lock;
+    (match (parent, t.stack) with
+    | Some p, _ when not p.sp_dummy -> p.sp_children <- sp :: p.sp_children
+    | Some _, _ -> ()
+    | None, p :: _ -> p.sp_children <- sp :: p.sp_children
+    | None, [] -> ());
+    t.stack <- sp :: t.stack;
+    Mutex.unlock t.lock;
+    sp
+  end
+
+let finish t sp =
+  if not sp.sp_dummy then begin
+    sp.sp_wall <- Clock.now () -. sp.sp_t0;
+    sp.sp_minor <- Gc.minor_words () -. sp.sp_m0;
+    Mutex.lock t.lock;
+    let was_open = List.memq sp t.stack in
+    (* Pop this span (and, defensively, anything opened after it that
+       was never finished). *)
+    let rec pop = function
+      | [] -> []
+      | x :: rest -> if x == sp then rest else pop rest
+    in
+    if was_open then t.stack <- pop t.stack;
+    (* A span is a root if nothing remains open under it. *)
+    if was_open && t.stack = [] then begin
+      t.roots <- sp :: t.roots;
+      t.root_count <- t.root_count + 1;
+      if t.root_count > t.max_roots then begin
+        (* Drop the oldest root.  Rare (bounded history), so the O(n)
+           list surgery is fine. *)
+        t.roots <- List.filteri (fun i _ -> i < t.max_roots) t.roots;
+        t.root_count <- t.max_roots;
+        t.dropped <- t.dropped + 1
+      end
+    end;
+    Mutex.unlock t.lock
+  end
+
+let with_span t ?parent name f =
+  let sp = start t ?parent name in
+  Fun.protect ~finally:(fun () -> finish t sp) (fun () -> f sp)
+
+let annotate sp k v = if not sp.sp_dummy then sp.sp_notes <- (k, v) :: sp.sp_notes
+
+let stage_hist registry stage =
+  Registry.histogram registry "stage_seconds"
+    ~help:"Wall-clock seconds per pipeline stage" ~labels:[ ("stage", stage) ]
+
+let timed ?(tracer = default) ?(registry = Registry.default) ~stage f =
+  if not (Registry.enabled ()) then f ()
+  else begin
+    let sp = start tracer stage in
+    Fun.protect
+      ~finally:(fun () ->
+        finish tracer sp;
+        Registry.observe (stage_hist registry stage) sp.sp_wall)
+      f
+  end
+
+let name sp = sp.sp_name
+let wall sp = sp.sp_wall
+let minor_words sp = sp.sp_minor
+let notes sp = List.rev sp.sp_notes
+let children sp = List.rev sp.sp_children
+
+let rollup sp =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let count, total =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl c.sp_name)
+      in
+      Hashtbl.replace tbl c.sp_name (count + 1, total +. c.sp_wall))
+    sp.sp_children;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let roots t =
+  Mutex.lock t.lock;
+  let r = List.rev t.roots in
+  Mutex.unlock t.lock;
+  r
+
+let dropped_roots t = t.dropped
+
+let reset t =
+  Mutex.lock t.lock;
+  t.stack <- [];
+  t.roots <- [];
+  t.root_count <- 0;
+  t.dropped <- 0;
+  Mutex.unlock t.lock

@@ -1,0 +1,58 @@
+(** Hierarchical timed spans.
+
+    A tracer keeps an ambient stack of open spans: {!start} without an
+    explicit parent attaches to the innermost open span, so layered code
+    (coordinator phase -> digest stage -> flow merge) nests without
+    threading span handles through every call.  Each finished span
+    records wall time, the domain's minor-allocation delta
+    ([Gc.minor_words], as in [bench/decode_bench]) and its children.
+
+    Spans must be started and finished on the tracer's owning domain
+    (pool workers report through the registry instead); the tracer's
+    mutex only guards against accidental cross-domain use.
+
+    When {!Registry.set_enabled} is off, [start] hands out a dummy span
+    and records nothing. *)
+
+type t
+type span
+
+val create : ?max_roots:int -> unit -> t
+(** [max_roots] bounds the finished-root history (default 1024); the
+    oldest roots are dropped beyond it. *)
+
+val default : t
+(** The process-wide tracer the instrumented layers write into. *)
+
+val start : t -> ?parent:span -> string -> span
+val finish : t -> span -> unit
+
+val with_span : t -> ?parent:span -> string -> (span -> 'a) -> 'a
+(** Start, run, finish (also on exception). *)
+
+val annotate : span -> string -> string -> unit
+
+val timed : ?tracer:t -> ?registry:Registry.t -> stage:string -> (unit -> 'a) -> 'a
+(** The per-stage helper used on the pipeline hot layers: wraps [f] in a
+    span named [stage] (ambient parent) and observes its wall time into
+    the [stage_seconds{stage=...}] histogram of [registry] (both
+    defaulting to the process-wide instances). *)
+
+val name : span -> string
+val wall : span -> float
+(** Seconds; 0 until finished. *)
+
+val minor_words : span -> float
+val notes : span -> (string * string) list
+val children : span -> span list
+(** Oldest first. *)
+
+val rollup : span -> (string * (int * float)) list
+(** Direct children grouped by name: (count, total wall), sorted by
+    name. *)
+
+val roots : t -> span list
+(** Finished root spans, oldest first. *)
+
+val dropped_roots : t -> int
+val reset : t -> unit

@@ -2,31 +2,65 @@
    calling domain participates in every batch (it pops jobs while
    waiting), so a pool of [size] n uses n domains in total.  A pool is
    owned by one domain at a time: batches are submitted and awaited from
-   the owner, never concurrently. *)
+   the owner, never concurrently.
+
+   Observability: every executed job credits its domain's busy-seconds
+   and task counters in Obs.Registry.default ("0" is the calling
+   domain, "1".. are workers), and the time a job sat in the queue
+   feeds the pool_queue_wait_seconds histogram.  Jobs are chunk-sized
+   (a few per domain per batch), so the per-job clock reads and cell
+   updates are far off the per-packet hot path. *)
 
 type job = unit -> unit
 
 type t = {
   lock : Mutex.t;
   work : Condition.t;  (* a job was enqueued, or the pool closed *)
-  jobs : job Queue.t;
+  jobs : (float * job) Queue.t;  (* enqueue timestamp, job *)
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
 
-let rec worker_loop t =
+let busy_counter domain =
+  Obs.Registry.counter Obs.Registry.default "pool_domain_busy_seconds_total"
+    ~help:"Seconds each pool domain spent executing tasks"
+    ~labels:[ ("domain", string_of_int domain) ]
+
+let tasks_counter domain =
+  Obs.Registry.counter Obs.Registry.default "pool_domain_tasks_total"
+    ~help:"Tasks executed per pool domain"
+    ~labels:[ ("domain", string_of_int domain) ]
+
+let queue_wait_hist =
+  lazy
+    (Obs.Registry.histogram Obs.Registry.default "pool_queue_wait_seconds"
+       ~help:"Seconds a task waited in the pool queue before starting")
+
+(* Run one job on [domain], crediting busy time and queue wait. *)
+let run_job ~domain ~enqueued job =
+  if Obs.Registry.enabled () then begin
+    let t0 = Obs.Clock.now () in
+    if enqueued >= 0.0 then
+      Obs.Registry.observe (Lazy.force queue_wait_hist) (Float.max 0.0 (t0 -. enqueued));
+    job ();
+    Obs.Registry.inc (busy_counter domain) (Obs.Clock.now () -. t0);
+    Obs.Registry.incr (tasks_counter domain)
+  end
+  else job ()
+
+let rec worker_loop t domain =
   Mutex.lock t.lock;
   while Queue.is_empty t.jobs && not t.closed do
     Condition.wait t.work t.lock
   done;
   if Queue.is_empty t.jobs then Mutex.unlock t.lock
   else begin
-    let job = Queue.pop t.jobs in
+    let enqueued, job = Queue.pop t.jobs in
     Mutex.unlock t.lock;
-    job ();
-    worker_loop t
+    run_job ~domain ~enqueued job;
+    worker_loop t domain
   end
 
 let create ?size () =
@@ -49,8 +83,8 @@ let create ?size () =
      runtime cannot give us more domains. *)
   let workers = ref [] in
   (try
-     for _ = 2 to size do
-       workers := Domain.spawn (fun () -> worker_loop t) :: !workers
+     for i = 2 to size do
+       workers := Domain.spawn (fun () -> worker_loop t (i - 1)) :: !workers
      done
    with _ -> ());
   t.workers <- !workers;
@@ -80,12 +114,23 @@ let with_pool ?size f =
   let t = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Run a sequential batch in the calling domain, still crediting domain
+   0 so single-core runs surface busy time too. *)
+let run_seq tasks =
+  if Obs.Registry.enabled () then begin
+    let t0 = Obs.Clock.now () in
+    Array.iter (fun f -> f ()) tasks;
+    Obs.Registry.inc (busy_counter 0) (Obs.Clock.now () -. t0);
+    Obs.Registry.inc (tasks_counter 0) (float_of_int (Array.length tasks))
+  end
+  else Array.iter (fun f -> f ()) tasks
+
 (* Run every task of a batch; tasks must not raise (callers wrap them).
    The caller helps drain the queue, then blocks until the last worker
    finishes its task. *)
 let run_all t (tasks : job array) =
   match t.workers with
-  | [] -> Array.iter (fun f -> f ()) tasks
+  | [] -> run_seq tasks
   | _ ->
     let remaining = ref (Array.length tasks) in
     let batch_done = Condition.create () in
@@ -96,16 +141,19 @@ let run_all t (tasks : job array) =
       if !remaining = 0 then Condition.broadcast batch_done;
       Mutex.unlock t.lock
     in
+    let enqueue_time =
+      if Obs.Registry.enabled () then Obs.Clock.now () else -1.0
+    in
     Mutex.lock t.lock;
-    Array.iter (fun f -> Queue.push (wrap f) t.jobs) tasks;
+    Array.iter (fun f -> Queue.push (enqueue_time, wrap f) t.jobs) tasks;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     let rec help () =
       Mutex.lock t.lock;
       if not (Queue.is_empty t.jobs) then begin
-        let job = Queue.pop t.jobs in
+        let enqueued, job = Queue.pop t.jobs in
         Mutex.unlock t.lock;
-        job ();
+        run_job ~domain:0 ~enqueued job;
         help ()
       end
       else begin
@@ -128,7 +176,15 @@ let reraise_first results n =
 
 let map_array t f arr =
   match t.workers with
-  | [] -> Array.map f arr
+  | [] -> (
+    if not (Obs.Registry.enabled ()) then Array.map f arr
+    else begin
+      let t0 = Obs.Clock.now () in
+      let out = Array.map f arr in
+      Obs.Registry.inc (busy_counter 0) (Obs.Clock.now () -. t0);
+      Obs.Registry.incr (tasks_counter 0);
+      out
+    end)
   | workers ->
     let n = Array.length arr in
     let results = Array.make n None in
@@ -157,7 +213,15 @@ let map_array t f arr =
 
 let map t f l =
   match t.workers with
-  | [] -> List.map f l
+  | [] ->
+    if not (Obs.Registry.enabled ()) then List.map f l
+    else begin
+      let t0 = Obs.Clock.now () in
+      let out = List.map f l in
+      Obs.Registry.inc (busy_counter 0) (Obs.Clock.now () -. t0);
+      Obs.Registry.incr (tasks_counter 0);
+      out
+    end
   | _ -> Array.to_list (map_array t f (Array.of_list l))
 
 (* Fan an index range [0, n) out as contiguous sub-ranges — the indexed

@@ -8,10 +8,18 @@
     order.  Running with a pool of size 1 therefore produces bit-identical
     output to running with any larger pool.
 
-    The pool is dependency-free (stdlib [Domain]/[Mutex]/[Condition])
-    and degrades gracefully: a requested size of 1 — or any failure to
-    spawn domains — yields a pool that executes everything sequentially
-    in the calling domain. *)
+    The pool is built on stdlib [Domain]/[Mutex]/[Condition] (plus the
+    in-tree [Obs] metrics) and degrades gracefully: a requested size of
+    1 — or any failure to spawn domains — yields a pool that executes
+    everything sequentially in the calling domain.
+
+    Every executed batch reports into [Obs.Registry.default]:
+    per-domain busy seconds and task counts
+    ([pool_domain_busy_seconds_total{domain=...}],
+    [pool_domain_tasks_total{domain=...}]; domain ["0"] is the calling
+    domain) and a [pool_queue_wait_seconds] histogram of how long tasks
+    sat in the shared queue.  [Obs.Registry.set_enabled false] turns all
+    of it off. *)
 
 type t
 

@@ -84,6 +84,34 @@ let channel_rates_at t ~site ~port ~at =
   | Some tx, Some rx -> Some (tx, rx)
   | _ -> None
 
+(* Bridge to the run-metrics registry: re-export the most recent SNMP
+   sample of every registered switch port as labelled gauges, so the
+   testbed's telemetry and Patchwork's own pipeline metrics surface
+   through one exposition endpoint. *)
+let export_metrics ?(registry = Obs.Registry.default) t =
+  if Obs.Registry.enabled () then
+    List.iter
+      (fun sw ->
+        let site = Switch.site_name sw in
+        for port = 0 to Switch.port_count sw - 1 do
+          let labels = [ ("site", site); ("port", string_of_int port) ] in
+          let set name metric =
+            match Simcore.Timeseries.last t.store ~key:(key site port metric) with
+            | None -> ()
+            | Some (_, v) ->
+              Obs.Registry.set
+                (Obs.Registry.gauge registry name
+                   ~help:("Latest SNMP " ^ metric ^ " sample") ~labels)
+                v
+          in
+          set "testbed_port_tx_rate_bytes" "tx_rate";
+          set "testbed_port_rx_rate_bytes" "rx_rate";
+          set "testbed_port_tx_bytes" "tx_bytes";
+          set "testbed_port_rx_bytes" "rx_bytes";
+          set "testbed_port_drops" "drops"
+        done)
+      t.switches
+
 let weekly_rate_sums t ~weeks =
   let sums = Array.make weeks 0.0 in
   List.iter

@@ -17,4 +17,5 @@ let () =
          Test_iperf.suites;
          Test_future.suites;
          Test_parallel.suites;
+         Test_obs.suites;
        ])

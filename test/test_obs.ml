@@ -1,0 +1,295 @@
+module Registry = Obs.Registry
+module Span = Obs.Span
+module Export = Obs.Export
+module J = Obs.Export.Json
+module Logging = Patchwork.Logging
+
+(* --- registry --- *)
+
+let test_counter_gauge () =
+  let r = Registry.create () in
+  let c = Registry.counter r "reqs_total" ~help:"requests" in
+  Registry.incr c;
+  Registry.inc c 4.0;
+  Alcotest.(check bool) "counter value" true
+    (Registry.value r "reqs_total" = Some (Registry.Counter 5.0));
+  Alcotest.check_raises "negative inc rejected"
+    (Invalid_argument "Obs.Registry.inc: negative increment") (fun () ->
+      Registry.inc c (-1.0));
+  let g = Registry.gauge r "depth" in
+  Registry.set g 7.0;
+  Registry.add g (-2.0);
+  Alcotest.(check bool) "gauge value" true
+    (Registry.value r "depth" = Some (Registry.Gauge 5.0));
+  (* Same name, different kind: rejected. *)
+  Alcotest.(check bool) "kind clash raises" true
+    (match Registry.gauge r "reqs_total" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_labels_canonical () =
+  let r = Registry.create () in
+  let a = Registry.counter r "x" ~labels:[ ("b", "2"); ("a", "1") ] in
+  let b = Registry.counter r "x" ~labels:[ ("a", "1"); ("b", "2") ] in
+  Registry.incr a;
+  Registry.incr b;
+  (* Label order is canonicalized, so both handles hit the same cell. *)
+  Alcotest.(check bool) "one cell" true
+    (Registry.value r "x" ~labels:[ ("a", "1"); ("b", "2") ]
+    = Some (Registry.Counter 2.0));
+  Alcotest.(check int) "one sample" 1 (List.length (Registry.snapshot r))
+
+let test_histogram_buckets () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "lat" in
+  List.iter (Registry.observe h) [ 0.5; 1.0; 1.0; 3.0; 1e12 ];
+  match Registry.value r "lat" with
+  | Some (Registry.Histogram hs) ->
+    Alcotest.(check int) "count" 5 hs.Registry.h_count;
+    Alcotest.(check (float 1e-9)) "sum" (0.5 +. 1.0 +. 1.0 +. 3.0 +. 1e12)
+      hs.Registry.h_sum;
+    (* Cumulative and capped by the +Inf bucket. *)
+    let les, cums = List.split hs.Registry.h_buckets in
+    Alcotest.(check bool) "ends at +Inf" true (List.exists (( = ) infinity) les);
+    Alcotest.(check bool) "monotone" true
+      (List.for_all2 ( <= ) cums (List.tl cums @ [ hs.Registry.h_count ]));
+    Alcotest.(check int) "+Inf cumulative = count" hs.Registry.h_count
+      (List.assoc infinity hs.Registry.h_buckets)
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  Registry.inc (Registry.counter a "c") 2.0;
+  Registry.inc (Registry.counter b "c") 3.0;
+  Registry.set (Registry.gauge a "g") 1.0;
+  Registry.set (Registry.gauge b "g") 9.0;
+  Registry.observe (Registry.histogram a "h") 4.0;
+  Registry.observe (Registry.histogram b "h") 8.0;
+  Registry.merge_into ~dst:a b;
+  Alcotest.(check bool) "counters add" true
+    (Registry.value a "c" = Some (Registry.Counter 5.0));
+  Alcotest.(check bool) "gauge takes source" true
+    (Registry.value a "g" = Some (Registry.Gauge 9.0));
+  match Registry.value a "h" with
+  | Some (Registry.Histogram hs) ->
+    Alcotest.(check int) "hist counts add" 2 hs.Registry.h_count;
+    Alcotest.(check (float 1e-9)) "hist sums add" 12.0 hs.Registry.h_sum
+  | _ -> Alcotest.fail "merged histogram missing"
+
+let test_disabled_noop () =
+  let r = Registry.create () in
+  let c = Registry.counter r "c" in
+  Registry.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Registry.set_enabled true)
+    (fun () ->
+      Registry.incr c;
+      let t = Span.create () in
+      Span.with_span t "s" (fun sp -> Span.annotate sp "k" "v");
+      Alcotest.(check bool) "counter untouched" true
+        (Registry.value r "c" = Some (Registry.Counter 0.0));
+      Alcotest.(check int) "no spans recorded" 0 (List.length (Span.roots t)))
+
+(* --- exposition round-trips --- *)
+
+let populated_registry () =
+  let r = Registry.create () in
+  Registry.inc (Registry.counter r "frames_total" ~help:"Captured frames") 12345.0;
+  Registry.inc
+    (Registry.counter r "frames_total" ~labels:[ ("site", "STAR") ])
+    17.0;
+  Registry.set
+    (Registry.gauge r "queue_depth" ~help:"Pending grant\nrequests"
+       ~labels:[ ("site", "a\"b\\c") ])
+    3.0;
+  let h = Registry.histogram r "stage_seconds" ~labels:[ ("stage", "digest") ] in
+  List.iter (Registry.observe h) [ 0.25; 1.0; 1.5; 300.0 ];
+  r
+
+let test_prometheus_roundtrip () =
+  let snap = Registry.snapshot (populated_registry ()) in
+  let text = Export.to_prometheus snap in
+  match Export.parse_prometheus text with
+  | Error msg -> Alcotest.fail ("parse_prometheus: " ^ msg)
+  | Ok lines ->
+    Alcotest.(check int) "line count survives" (List.length (Export.flatten snap))
+      (List.length lines);
+    Alcotest.(check bool) "data lines round-trip" true
+      (lines = Export.flatten snap)
+
+let test_json_roundtrip () =
+  let r = populated_registry () in
+  let t = Span.create () in
+  Span.with_span t "occasion" (fun occ ->
+      Span.annotate occ "sites" "3";
+      Span.with_span t "occasion.setup" ignore);
+  let text = Export.to_json_string ~spans:(Span.roots t) (Registry.snapshot r) in
+  match J.parse text with
+  | Error msg -> Alcotest.fail ("Json.parse: " ^ msg)
+  | Ok doc ->
+    (* Re-serializing the parse is a fixpoint. *)
+    Alcotest.(check string) "fixpoint" text (J.to_string doc);
+    let metrics =
+      match J.member "metrics" doc with Some (J.Arr l) -> l | _ -> []
+    in
+    let frames =
+      List.find_map
+        (fun m ->
+          if
+            J.member "name" m = Some (J.Str "frames_total")
+            && J.member "labels" m = None
+          then Option.bind (J.member "value" m) J.to_float
+          else None)
+        metrics
+    in
+    Alcotest.(check (option (float 1e-9))) "counter readable" (Some 12345.0)
+      frames;
+    (match J.member "spans" doc with
+    | Some (J.Arr [ occ ]) ->
+      Alcotest.(check bool) "span name" true
+        (J.member "name" occ = Some (J.Str "occasion"));
+      (match J.member "children" occ with
+      | Some (J.Arr [ child ]) ->
+        Alcotest.(check bool) "child name" true
+          (J.member "name" child = Some (J.Str "occasion.setup"))
+      | _ -> Alcotest.fail "child span missing")
+    | _ -> Alcotest.fail "root span missing")
+
+let test_json_parser_errors () =
+  Alcotest.(check bool) "trailing garbage" true
+    (Result.is_error (J.parse "{} x"));
+  Alcotest.(check bool) "unterminated" true (Result.is_error (J.parse "[1, 2"));
+  Alcotest.(check bool) "escapes" true
+    (J.parse {|"a\n\"b\\"|} = Ok (J.Str "a\n\"b\\"))
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let t = Span.create () in
+  Span.with_span t "root" (fun root ->
+      Span.with_span t "child" (fun _ -> ());
+      Span.with_span t "child" (fun _ -> ());
+      Span.with_span t "other" (fun _ -> ());
+      Span.annotate root "k" "v");
+  match Span.roots t with
+  | [ root ] ->
+    Alcotest.(check string) "name" "root" (Span.name root);
+    Alcotest.(check bool) "wall recorded" true (Span.wall root >= 0.0);
+    Alcotest.(check (list string)) "children oldest first"
+      [ "child"; "child"; "other" ]
+      (List.map Span.name (Span.children root));
+    Alcotest.(check bool) "notes" true (Span.notes root = [ ("k", "v") ]);
+    let rollup = Span.rollup root in
+    Alcotest.(check int) "child grouped" 2 (fst (List.assoc "child" rollup));
+    Alcotest.(check int) "other grouped" 1 (fst (List.assoc "other" rollup))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let test_span_root_bound () =
+  let t = Span.create ~max_roots:3 () in
+  for i = 1 to 5 do
+    Span.with_span t (string_of_int i) ignore
+  done;
+  Alcotest.(check (list string)) "oldest dropped" [ "3"; "4"; "5" ]
+    (List.map Span.name (Span.roots t));
+  Alcotest.(check int) "dropped count" 2 (Span.dropped_roots t)
+
+let test_span_timed_histogram () =
+  let r = Registry.create () in
+  let t = Span.create () in
+  let v = Span.timed ~tracer:t ~registry:r ~stage:"digest.index" (fun () -> 41 + 1) in
+  Alcotest.(check int) "passes result through" 42 v;
+  Alcotest.(check (list string)) "span recorded" [ "digest.index" ]
+    (List.map Span.name (Span.roots t));
+  match Registry.value r "stage_seconds" ~labels:[ ("stage", "digest.index") ] with
+  | Some (Registry.Histogram hs) ->
+    Alcotest.(check int) "one observation" 1 hs.Registry.h_count
+  | _ -> Alcotest.fail "stage histogram missing"
+
+(* --- logging ring buffer --- *)
+
+let log_n log n =
+  for i = 1 to n do
+    let level = if i mod 3 = 0 then Logging.Warning else Logging.Info in
+    Logging.log log ~time:(float_of_int i) ~level ~component:"c"
+      (string_of_int i)
+  done
+
+let test_logging_ring () =
+  let log = Logging.create ~capacity:4 () in
+  log_n log 10;
+  Alcotest.(check int) "capacity" 4 (Logging.capacity log);
+  Alcotest.(check int) "retained" 4 (Logging.retained log);
+  Alcotest.(check int) "dropped" 6 (Logging.dropped log);
+  (* Counters survive eviction; entries are the newest, oldest first. *)
+  Alcotest.(check int) "total count O(1)" 10 (Logging.count log);
+  Alcotest.(check int) "warnings" 3 (Logging.count ~min_level:Logging.Warning log);
+  Alcotest.(check (list string)) "newest retained, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Logging.event) (Logging.entries log))
+
+let test_logging_unbounded () =
+  let log = Logging.create () in
+  log_n log 10;
+  Alcotest.(check int) "all retained" 10 (Logging.retained log);
+  Alcotest.(check int) "nothing dropped" 0 (Logging.dropped log);
+  Alcotest.(check int) "count matches" 10 (Logging.count log);
+  Alcotest.(check (list string)) "oldest first"
+    (List.init 10 (fun i -> string_of_int (i + 1)))
+    (List.map (fun e -> e.Logging.event) (Logging.entries log))
+
+(* --- pool-size independence (satellite 4) --- *)
+
+(* Counter totals and histogram bucket counts must not depend on how
+   tasks were spread over domains.  Observations are integer-valued, so
+   even the histogram sum is bit-exact (the registry's exact-integer
+   discipline). *)
+let qcheck_registry_pool_independent =
+  QCheck.Test.make ~name:"registry totals independent of pool size" ~count:30
+    QCheck.(pair small_nat (list_of_size Gen.(1 -- 40) (int_range 1 1000)))
+    (fun (seed, values) ->
+      let run size =
+        let r = Registry.create () in
+        let c = Registry.counter r "c" in
+        let h = Registry.histogram r "h" in
+        Parallel.Pool.with_pool ~size (fun pool ->
+            ignore
+              (Parallel.Pool.map pool
+                 (fun v ->
+                   let v = float_of_int ((v + seed) mod 1000) in
+                   Registry.inc c v;
+                   Registry.observe h v)
+                 values));
+        Registry.snapshot r
+      in
+      let s1 = run 1 in
+      s1 = run 2 && s1 = run 4)
+
+let suites =
+  [
+    ( "obs.registry",
+      [
+        Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+        Alcotest.test_case "labels canonical" `Quick test_labels_canonical;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "merge" `Quick test_registry_merge;
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        QCheck_alcotest.to_alcotest qcheck_registry_pool_independent;
+      ] );
+    ( "obs.export",
+      [
+        Alcotest.test_case "prometheus round-trip" `Quick test_prometheus_roundtrip;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json parser errors" `Quick test_json_parser_errors;
+      ] );
+    ( "obs.span",
+      [
+        Alcotest.test_case "nesting and rollup" `Quick test_span_nesting;
+        Alcotest.test_case "root bound" `Quick test_span_root_bound;
+        Alcotest.test_case "timed stage histogram" `Quick test_span_timed_histogram;
+      ] );
+    ( "obs.logging",
+      [
+        Alcotest.test_case "ring buffer" `Quick test_logging_ring;
+        Alcotest.test_case "unbounded" `Quick test_logging_unbounded;
+      ] );
+  ]

@@ -175,6 +175,66 @@ let test_telemetry_busiest () =
     (Telemetry.busiest_port tel ~site:"S" ~candidates:[ 0; 3 ] ~window:1800.0
        ~at:1800.0)
 
+let test_telemetry_window_edges () =
+  let engine = Engine.create () in
+  let tel = Telemetry.create engine in
+  (* Empty store: no samples anywhere. *)
+  Alcotest.(check (float 1e-9)) "empty store" 0.0
+    (Telemetry.port_avg_rate tel ~site:"S" ~port:0 ~window:100.0 ~at:1000.0);
+  Alcotest.(check (option int)) "empty store busiest" None
+    (Telemetry.busiest_port tel ~site:"S" ~candidates:[ 0; 1 ] ~window:100.0
+       ~at:1000.0);
+  (* Hand-placed rate samples pin the exact timestamps. *)
+  let store = Telemetry.store tel in
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:400.0 8.0;
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:700.0 2.0;
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:1000.0 4.0;
+  (* Window [700, 1000]: both edge samples count, the 400 s one does not. *)
+  Alcotest.(check (float 1e-9)) "inclusive edges" 3.0
+    (Telemetry.port_avg_rate tel ~site:"S" ~port:0 ~window:300.0 ~at:1000.0);
+  (* A sample exactly at [at] is visible on its own. *)
+  Alcotest.(check (float 1e-9)) "sample exactly at" 4.0
+    (Telemetry.port_avg_rate tel ~site:"S" ~port:0 ~window:1.0 ~at:1000.0);
+  (* A window that ends before the first sample sees nothing. *)
+  Alcotest.(check (float 1e-9)) "window before data" 0.0
+    (Telemetry.port_avg_rate tel ~site:"S" ~port:0 ~window:100.0 ~at:300.0)
+
+let test_telemetry_weekly_buckets () =
+  let engine = Engine.create () in
+  let tel = Telemetry.create engine in
+  let store = Telemetry.store tel in
+  let week = Netcore.Timebase.week in
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:0.0 1.0;
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:(week -. 1.0) 2.0;
+  (* The first instant of week 1 lands in bucket 1, not 0. *)
+  Simcore.Timeseries.append store ~key:"S/p1/tx_rate" ~time:week 4.0;
+  (* Rx series and weeks beyond the horizon are ignored. *)
+  Simcore.Timeseries.append store ~key:"S/p0/rx_rate" ~time:week 100.0;
+  Simcore.Timeseries.append store ~key:"S/p0/tx_rate" ~time:(3.0 *. week) 8.0;
+  let sums = Telemetry.weekly_rate_sums tel ~weeks:2 in
+  Alcotest.(check int) "length" 2 (Array.length sums);
+  Alcotest.(check (float 1e-9)) "week 0" 3.0 sums.(0);
+  Alcotest.(check (float 1e-9)) "week 1 sums across ports" 4.0 sums.(1)
+
+let test_telemetry_export_metrics () =
+  let engine = Engine.create () in
+  let sw = Switch.create engine ~site_name:"S" ~ports:2 ~line_rate:100e9 in
+  let tel = Telemetry.create engine in
+  Telemetry.register_switch tel sw;
+  Switch.attach_flow sw ~port:1 ~dir:Switch.Tx ~byte_rate:1e6 ~frame_rate:1e3
+    ~flow:1;
+  Telemetry.start ~until:900.0 tel;
+  Engine.run ~until:900.0 engine;
+  let r = Obs.Registry.create () in
+  Telemetry.export_metrics ~registry:r tel;
+  match
+    Obs.Registry.value r "testbed_port_tx_bytes"
+      ~labels:[ ("port", "1"); ("site", "S") ]
+  with
+  | Some (Obs.Registry.Gauge v) ->
+    Alcotest.(check bool) "cumulative bytes exported" true (v > 0.0)
+  | _ -> Alcotest.fail "testbed_port_tx_bytes gauge missing"
+
 (* --- Allocator --- *)
 
 let vm ?(nics = 1) () =
@@ -294,6 +354,9 @@ let suites =
       [
         Alcotest.test_case "port rates" `Quick test_telemetry_rates;
         Alcotest.test_case "busiest port" `Quick test_telemetry_busiest;
+        Alcotest.test_case "window edges" `Quick test_telemetry_window_edges;
+        Alcotest.test_case "weekly buckets" `Quick test_telemetry_weekly_buckets;
+        Alcotest.test_case "export metrics" `Quick test_telemetry_export_metrics;
       ] );
     ( "testbed.allocator",
       [
