@@ -99,6 +99,72 @@ let run () =
             n t (t_seq /. Float.max 1e-9 t) identical;
           record "flows" n t m identical))
     sizes;
+  (* Series-collector overhead guard: the live exposition samples the
+     registry after every occasion, so a collect must stay far below the
+     occasion work itself.  A registry populated like a federation-wide
+     run (per-site capture counters, pool + queue metrics) is sampled
+     repeatedly; the guard asserts the per-collect cost under 1% of the
+     sequential flow-aggregation wall time standing in for occasion
+     work. *)
+  let guard_ok =
+    let reg = Obs.Registry.create () in
+    let sites = List.init 30 (fun i -> Printf.sprintf "SITE%02d" i) in
+    List.iter
+      (fun site ->
+        let l = [ ("site", site) ] in
+        List.iter
+          (fun name -> Obs.Registry.inc (Obs.Registry.counter reg name ~labels:l) 1e6)
+          [
+            "capture_offered_frames_total";
+            "capture_switch_dropped_frames_total";
+            "capture_host_dropped_frames_total";
+            "capture_frames_total";
+            "capture_stored_bytes_total";
+          ])
+      sites;
+    List.iter
+      (fun d ->
+        Obs.Registry.inc
+          (Obs.Registry.counter reg "pool_domain_busy_seconds_total"
+             ~labels:[ ("domain", string_of_int d) ])
+          10.0)
+      [ 0; 1; 2; 3 ];
+    let qw = Obs.Registry.histogram reg "pool_queue_wait_seconds" in
+    for i = 1 to 1000 do
+      Obs.Registry.observe qw (float_of_int i *. 1e-4)
+    done;
+    let col = Obs.Series.Collector.create () in
+    let rounds = 200 in
+    let (), t_collect, m_collect =
+      time (fun () ->
+          for i = 0 to rounds do
+            Obs.Registry.inc
+              (Obs.Registry.counter reg "occasions_total")
+              1.0;
+            Obs.Series.Collector.collect col ~at:(float_of_int i *. 600.0) reg
+          done)
+    in
+    let per_collect = t_collect /. float_of_int (rounds + 1) in
+    let budget = 0.01 *. t_seq in
+    let ok = per_collect < budget in
+    Printf.printf
+      "series-collect  %7.6f s/collect  (budget %.6f s = 1%% of occasion work)  %s\n%!"
+      per_collect budget
+      (if ok then "OK" else "FAIL");
+    record "series_collect" 1 per_collect m_collect ok;
+    json_runs :=
+      Obs.Export.Json.Obj
+        [
+          ("label", Obs.Export.Json.Str "series_collect_guard");
+          ("per_collect_s", Obs.Export.Json.Num per_collect);
+          ("occasion_wall_s", Obs.Export.Json.Num t_seq);
+          ( "fraction_of_occasion",
+            Obs.Export.Json.Num (per_collect /. Float.max 1e-9 t_seq) );
+          ("ok", Obs.Export.Json.Bool ok);
+        ]
+      :: !json_runs;
+    ok
+  in
   let oc = open_out "BENCH_parallel.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -112,4 +178,8 @@ let run () =
                 ("runs", Obs.Export.Json.Arr (List.rev !json_runs));
               ]));
       output_char oc '\n');
-  Printf.printf "wrote BENCH_parallel.json\n%!"
+  Printf.printf "wrote BENCH_parallel.json\n%!";
+  if not guard_ok then begin
+    Printf.eprintf "series-collector guard failed: sampling costs more than 1%% of occasion work\n%!";
+    exit 1
+  end

@@ -329,10 +329,58 @@ let weekly_cmd =
       value & opt string "weekly-profile"
       & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for CSVs and figures.")
   in
-  let run seed weeks start_day hours out domains metrics_out metrics_format =
+  let serve_metrics =
+    let doc =
+      "Serve the live monitoring endpoints on 127.0.0.1:$(docv) while the \
+       occasions run: /metrics (Prometheus), /metrics.json, /series.json, \
+       /alerts.json, /logs.json, /trace.json, /healthz and /readyz.  Use \
+       port 0 for an ephemeral port (printed at startup)."
+    in
+    Arg.(value & opt (some int) None & info [ "serve-metrics" ] ~docv:"PORT" ~doc)
+  in
+  let hold =
+    let doc =
+      "With $(b,--serve-metrics): keep serving after the last occasion until \
+       SIGINT/SIGTERM, then shut down cleanly."
+    in
+    Arg.(value & flag & info [ "hold" ] ~doc)
+  in
+  let alert_rules =
+    let doc =
+      "Alert rule, e.g. $(b,'site_drop_rate > 0.05 for 3'); repeatable.  \
+       Replaces the default rule set.  Syntax: <series> >|< <threshold> \
+       [for <occasions>]."
+    in
+    Arg.(value & opt_all string [] & info [ "alert" ] ~docv:"RULE" ~doc)
+  in
+  let run seed weeks start_day hours out domains metrics_out metrics_format
+      serve_metrics hold alert_rules =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
+    let rules =
+      match alert_rules with
+      | [] -> Live.default_rules
+      | rs ->
+        List.map
+          (fun r ->
+            match Obs.Alerts.rule_of_string r with
+            | Ok rule -> rule
+            | Error msg -> failwith ("--alert: " ^ msg))
+          rs
+    in
+    (* One bounded ring log shared across occasions so /logs.json can
+       tail the whole service, not just the newest occasion. *)
+    let service_log = Patchwork.Logging.create ~capacity:4096 () in
+    let live =
+      match serve_metrics with
+      | None -> None
+      | Some port ->
+        let baseline_at = float_of_int start_day *. Netcore.Timebase.day in
+        let l = Live.start ~rules ~baseline_at ~port ~log:service_log () in
+        Printf.printf "serving metrics on http://127.0.0.1:%d\n%!" (Live.port l);
+        Some l
+    in
     (with_domains domains @@ fun pool ->
     let builder = Analysis.Profile.Builder.create () in
     for w = 0 to weeks - 1 do
@@ -351,7 +399,8 @@ let weekly_cmd =
       in
       let report =
         Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
-          ~start_time ~duration:(hours *. Netcore.Timebase.hour) ()
+          ~log:service_log ~start_time
+          ~duration:(hours *. Netcore.Timebase.hour) ()
       in
       let ok =
         List.length
@@ -375,7 +424,16 @@ let weekly_cmd =
     let figs = Analysis.Figures.write_profile_figures profile ~dir:out in
     Printf.printf "wrote %d CSVs and %d figures under %s\n"
       (List.length csvs) (List.length figs) out);
-    write_metrics metrics_out metrics_format
+    write_metrics metrics_out metrics_format;
+    match live with
+    | None -> ()
+    | Some l ->
+      if hold then begin
+        Printf.printf "holding (SIGINT/SIGTERM to exit)\n%!";
+        Live.hold_until_signal ()
+      end;
+      Live.stop l;
+      Printf.printf "metrics server stopped\n%!"
   in
   let info =
     Cmd.info "weekly"
@@ -384,7 +442,8 @@ let weekly_cmd =
   Cmd.v info
     Term.(
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
-      $ metrics_out_arg $ metrics_format_arg)
+      $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
+      $ alert_rules)
 
 (* --- release --- *)
 
@@ -571,7 +630,18 @@ let report_cmd =
     let doc = "Profile only this site when running live." in
     Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SITE" ~doc)
   in
-  let run seed hours site infile domains =
+  let live_port =
+    let doc =
+      "Scrape a running $(b,weekly --serve-metrics) service on \
+       127.0.0.1:$(docv) and render its rolling series as sparklines \
+       plus the active alerts, instead of a span-tree report."
+    in
+    Arg.(value & opt (some int) None & info [ "live" ] ~docv:"PORT" ~doc)
+  in
+  let run seed hours site infile live_port domains =
+    match live_port with
+    | Some port -> Live.render_live ~port
+    | None ->
     let doc =
       match infile with
       | Some path ->
@@ -598,9 +668,11 @@ let report_cmd =
     Cmd.info "report"
       ~doc:
         "Render the per-occasion span tree and drop/loss attribution from a \
-         metrics snapshot (or from a fresh occasion)"
+         metrics snapshot (or from a fresh occasion), or scrape a live \
+         service with $(b,--live)"
   in
-  Cmd.v info Term.(const run $ seed_arg $ hours $ site $ infile $ domains_arg)
+  Cmd.v info
+    Term.(const run $ seed_arg $ hours $ site $ infile $ live_port $ domains_arg)
 
 (* --- capacity --- *)
 

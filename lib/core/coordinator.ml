@@ -30,6 +30,35 @@ let obs_occasions =
   Obs.Registry.counter Obs.Registry.default "occasions_total"
     ~help:"Profiling occasions run"
 
+(* Completion hooks: the live exposition stack (series collection, alert
+   evaluation) registers here so every occasion feeds it regardless of
+   which entry point ran the occasion.  The counter doubles as the
+   /readyz signal — the service is ready once one occasion completed. *)
+let completed = Atomic.make 0
+let hooks : (occasion_report -> unit) list ref = ref []
+let hooks_lock = Mutex.create ()
+
+let on_occasion_complete f =
+  Mutex.lock hooks_lock;
+  hooks := f :: !hooks;
+  Mutex.unlock hooks_lock
+
+let occasions_completed () = Atomic.get completed
+let ready () = Atomic.get completed > 0
+
+let run_hooks report =
+  Mutex.lock hooks_lock;
+  let fs = !hooks in
+  Mutex.unlock hooks_lock;
+  List.iter
+    (fun f ->
+      try f report
+      with e ->
+        Logging.log report.log ~time:report.occasion_start
+          ~level:Logging.Warning ~component:"coordinator"
+          ("occasion hook failed: " ^ Printexc.to_string e))
+    (List.rev fs)
+
 let outcome_label = function
   | Site_success -> "success"
   | Site_degraded -> "degraded"
@@ -170,15 +199,15 @@ let gather_site run =
     storage_used;
   }
 
-let run_occasion ~fabric ~driver ~config ?pool ?(max_instances = 2) ~start_time
-    ~duration () =
+let run_occasion ~fabric ~driver ~config ?pool ?log ?(max_instances = 2)
+    ~start_time ~duration () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Coordinator.run_occasion: " ^ msg));
   let engine = Fablib.engine fabric in
   if Simcore.Engine.now engine > start_time then
     invalid_arg "Coordinator.run_occasion: engine already past start_time";
-  let log = Logging.create () in
+  let log = match log with Some l -> l | None -> Logging.create () in
   let rng = Netcore.Rng.split (Fablib.rng fabric) in
   let until = start_time +. duration in
   (* The whole occasion is one span; each workflow phase of §6.2 is a
@@ -259,7 +288,12 @@ let run_occasion ~fabric ~driver ~config ?pool ?(max_instances = 2) ~start_time
   Obs.Span.annotate occ "log_warnings"
     (string_of_int (Logging.count ~min_level:Logging.Warning log));
   Testbed.Telemetry.export_metrics (Fablib.telemetry fabric);
-  { occasion_start = start_time; occasion_duration = duration; sites = reports; log }
+  let report =
+    { occasion_start = start_time; occasion_duration = duration; sites = reports; log }
+  in
+  Atomic.incr completed;
+  run_hooks report;
+  report
 
 let all_samples report = List.concat_map (fun r -> r.site_samples) report.sites
 

@@ -42,6 +42,7 @@ val run_occasion :
   driver:Traffic.Driver.t ->
   config:Config.t ->
   ?pool:Parallel.Pool.t ->
+  ?log:Logging.t ->
   ?max_instances:int ->
   start_time:float ->
   duration:float ->
@@ -52,9 +53,26 @@ val run_occasion :
     every target site, runs all instances for [duration] seconds of
     simulated time, then gathers and releases.
 
+    [log] supplies the run log (default: a fresh unbounded
+    [Logging.create ()]); the long-running weekly service passes one
+    bounded ring log shared across occasions so [/logs.json] can tail
+    it.
+
     In [All_experiments] mode the target sites are every profilable site
     of the federation; in [Single_experiment] mode only the sites (and
     ports) of the user's slice. *)
+
+val on_occasion_complete : (occasion_report -> unit) -> unit
+(** Register a hook invoked (in registration order) after every
+    completed occasion — the live exposition stack uses this to sample
+    series and evaluate alert rules.  Exceptions are caught and logged
+    as warnings into the occasion's log. *)
+
+val occasions_completed : unit -> int
+(** Occasions completed in this process (across all entry points). *)
+
+val ready : unit -> bool
+(** At least one occasion has completed — the [/readyz] signal. *)
 
 val all_samples : occasion_report -> Capture.sample list
 val success_rate : occasion_report list -> float

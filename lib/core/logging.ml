@@ -16,6 +16,7 @@ type t = {
   mutable ring_start : int; (* index of the oldest retained entry *)
   mutable ring_len : int;
   counts : int array; (* per-level totals, never decremented *)
+  lock : Mutex.t; (* the live /logs.json endpoint reads from another domain *)
 }
 
 let create ?(capacity = 0) () =
@@ -27,23 +28,29 @@ let create ?(capacity = 0) () =
     ring_start = 0;
     ring_len = 0;
     counts = Array.make 4 0;
+    lock = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let capacity t = t.capacity
 
 let log t ~time ~level ~component event =
   let e = { time; level; component; event } in
   let s = severity level in
-  t.counts.(s) <- t.counts.(s) + 1;
-  if t.capacity = 0 then t.entries <- e :: t.entries
-  else begin
-    let slot = (t.ring_start + t.ring_len) mod t.capacity in
-    t.ring.(slot) <- Some e;
-    if t.ring_len < t.capacity then t.ring_len <- t.ring_len + 1
-    else t.ring_start <- (t.ring_start + 1) mod t.capacity
-  end
+  locked t (fun () ->
+      t.counts.(s) <- t.counts.(s) + 1;
+      if t.capacity = 0 then t.entries <- e :: t.entries
+      else begin
+        let slot = (t.ring_start + t.ring_len) mod t.capacity in
+        t.ring.(slot) <- Some e;
+        if t.ring_len < t.capacity then t.ring_len <- t.ring_len + 1
+        else t.ring_start <- (t.ring_start + 1) mod t.capacity
+      end)
 
-let entries t =
+let entries_unlocked t =
   if t.capacity = 0 then List.rev t.entries
   else
     List.init t.ring_len (fun i ->
@@ -51,7 +58,9 @@ let entries t =
         | Some e -> e
         | None -> assert false (* slots [0, ring_len) are filled *))
 
-let count ?(min_level = Debug) t =
+let entries t = locked t (fun () -> entries_unlocked t)
+
+let count_unlocked ~min_level t =
   let s = severity min_level in
   let total = ref 0 in
   for i = s to 3 do
@@ -59,8 +68,29 @@ let count ?(min_level = Debug) t =
   done;
   !total
 
-let retained t = if t.capacity = 0 then List.length t.entries else t.ring_len
-let dropped t = count t - retained t
+let count ?(min_level = Debug) t = locked t (fun () -> count_unlocked ~min_level t)
+
+let retained_unlocked t =
+  if t.capacity = 0 then List.length t.entries else t.ring_len
+
+let retained t = locked t (fun () -> retained_unlocked t)
+
+let dropped t =
+  locked t (fun () -> count_unlocked ~min_level:Debug t - retained_unlocked t)
+
+let next_seq t = locked t (fun () -> count_unlocked ~min_level:Debug t)
+
+let drain_since t ~seq =
+  locked t (fun () ->
+      let total = count_unlocked ~min_level:Debug t in
+      let oldest = total - retained_unlocked t in
+      let all = entries_unlocked t in
+      let rec tag i acc = function
+        | [] -> List.rev acc
+        | e :: rest ->
+          tag (i + 1) (if i >= seq then (i, e) :: acc else acc) rest
+      in
+      tag oldest [] all)
 
 let errors t = List.filter (fun e -> e.level = Error) (entries t)
 

@@ -39,6 +39,18 @@ val retained : t -> int
 val dropped : t -> int
 (** Events evicted by the ring buffer ([count] minus [retained]). *)
 
+val next_seq : t -> int
+(** The sequence number the next logged entry will get.  Entries are
+    numbered monotonically from 0 in log order; numbering survives ring
+    eviction, so a tailing client can detect gaps. *)
+
+val drain_since : t -> seq:int -> (int * entry) list
+(** Retained entries with sequence number [>= seq], oldest first, each
+    paired with its number.  Pass the last seen seq + 1 (or
+    {!next_seq} from a previous call) to tail incrementally; if the
+    oldest returned seq is greater than [seq], the ring evicted entries
+    in between.  Safe to call from any domain. *)
+
 val errors : t -> entry list
 (** Retained [Error] entries, oldest first. *)
 

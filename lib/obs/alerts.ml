@@ -1,0 +1,228 @@
+type op = Gt | Lt
+
+type rule = {
+  rule_name : string;
+  series_name : string;
+  op : op;
+  threshold : float;
+  for_count : int;
+}
+
+let op_to_string = function Gt -> ">" | Lt -> "<"
+
+let base_to_string r =
+  Printf.sprintf "%s %s %g%s" r.series_name (op_to_string r.op) r.threshold
+    (if r.for_count = 1 then "" else Printf.sprintf " for %d" r.for_count)
+
+let rule ?name ~series ~op ~threshold ?(for_count = 1) () =
+  if for_count < 1 then invalid_arg "Obs.Alerts.rule: for_count must be >= 1";
+  let r =
+    { rule_name = ""; series_name = series; op; threshold; for_count }
+  in
+  { r with rule_name = (match name with Some n -> n | None -> base_to_string r) }
+
+let rule_to_string = base_to_string
+
+let rule_of_string s =
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  let parse_op = function
+    | ">" -> Some Gt
+    | "<" -> Some Lt
+    | _ -> None
+  in
+  match tokens with
+  | [ series; op; thr ] | [ series; op; thr; "for"; _ ] as l -> (
+    let for_count =
+      match l with
+      | [ _; _; _; "for"; n ] -> int_of_string_opt n
+      | _ -> Some 1
+    in
+    match (parse_op op, float_of_string_opt thr, for_count) with
+    | Some op, Some threshold, Some n when n >= 1 ->
+      Ok (rule ~series ~op ~threshold ~for_count:n ())
+    | None, _, _ -> Error (Printf.sprintf "bad comparator %S (expected > or <)" op)
+    | _, None, _ -> Error (Printf.sprintf "bad threshold %S" thr)
+    | _, _, _ -> Error "bad 'for' count (expected an integer >= 1)")
+  | _ ->
+    Error
+      (Printf.sprintf "cannot parse rule %S (expected: <series> >|< <threshold> [for <n>])"
+         s)
+
+type transition = Fired | Cleared
+
+type event = {
+  ev_rule : string;
+  ev_labels : Registry.labels;
+  ev_at : float;
+  ev_value : float;
+  ev_transition : transition;
+}
+
+type state = {
+  mutable consecutive : int;
+  mutable firing : bool;
+  mutable last_value : float;
+  mutable since : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  registry : Registry.t;
+  mutable rule_list : rule list; (* reverse registration order *)
+  states : (string * Registry.labels, state) Hashtbl.t; (* rule_name, labels *)
+}
+
+let create ?(registry = Registry.default) rules =
+  {
+    lock = Mutex.create ();
+    registry;
+    rule_list = List.rev rules;
+    states = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_rule t r = locked t (fun () -> t.rule_list <- r :: t.rule_list)
+let rules t = locked t (fun () -> List.rev t.rule_list)
+
+let violates op threshold v =
+  match op with Gt -> v > threshold | Lt -> v < threshold
+
+let active_gauge t rule_name labels =
+  Registry.gauge t.registry "patchwork_alert_active"
+    ~help:"1 while the named alert rule is firing"
+    ~labels:(("rule", rule_name) :: labels)
+
+let evaluate t ~at collector =
+  let rules = rules t in
+  let events = ref [] in
+  List.iter
+    (fun r ->
+      let matching =
+        List.filter
+          (fun s -> Series.name s = r.series_name)
+          (Series.Collector.series collector)
+      in
+      List.iter
+        (fun s ->
+          match Series.last s with
+          | None -> ()
+          | Some p ->
+            let labels = Series.labels s in
+            let key = (r.rule_name, labels) in
+            let st =
+              locked t @@ fun () ->
+              match Hashtbl.find_opt t.states key with
+              | Some st -> st
+              | None ->
+                let st =
+                  { consecutive = 0; firing = false; last_value = 0.0; since = 0.0 }
+                in
+                Hashtbl.add t.states key st;
+                st
+            in
+            locked t @@ fun () ->
+            st.last_value <- p.Series.value;
+            if violates r.op r.threshold p.Series.value then begin
+              st.consecutive <- st.consecutive + 1;
+              if (not st.firing) && st.consecutive >= r.for_count then begin
+                st.firing <- true;
+                st.since <- at;
+                Registry.set (active_gauge t r.rule_name labels) 1.0;
+                events :=
+                  {
+                    ev_rule = r.rule_name;
+                    ev_labels = labels;
+                    ev_at = at;
+                    ev_value = p.Series.value;
+                    ev_transition = Fired;
+                  }
+                  :: !events
+              end
+            end
+            else begin
+              st.consecutive <- 0;
+              if st.firing then begin
+                st.firing <- false;
+                Registry.set (active_gauge t r.rule_name labels) 0.0;
+                events :=
+                  {
+                    ev_rule = r.rule_name;
+                    ev_labels = labels;
+                    ev_at = at;
+                    ev_value = p.Series.value;
+                    ev_transition = Cleared;
+                  }
+                  :: !events
+              end
+            end)
+        matching)
+    rules;
+  List.rev !events
+
+let active t =
+  let rules = rules t in
+  let l =
+    locked t @@ fun () ->
+    Hashtbl.fold
+      (fun (rule_name, labels) st acc ->
+        if st.firing then
+          match List.find_opt (fun r -> r.rule_name = rule_name) rules with
+          | Some r -> (r, labels, st.last_value) :: acc
+          | None -> acc
+        else acc)
+      t.states []
+  in
+  List.sort
+    (fun (a, la, _) (b, lb, _) ->
+      match compare a.rule_name b.rule_name with
+      | 0 -> compare la lb
+      | c -> c)
+    l
+
+let labels_json labels =
+  Export.Json.Obj (List.map (fun (k, v) -> (k, Export.Json.Str v)) labels)
+
+let to_json t =
+  let actives = active t in
+  Export.Json.Obj
+    [
+      ( "rules",
+        Export.Json.Arr
+          (List.map
+             (fun r ->
+               Export.Json.Obj
+                 [
+                   ("name", Export.Json.Str r.rule_name);
+                   ("series", Export.Json.Str r.series_name);
+                   ("op", Export.Json.Str (op_to_string r.op));
+                   ("threshold", Export.Json.Num r.threshold);
+                   ("for", Export.Json.Num (float_of_int r.for_count));
+                 ])
+             (rules t)) );
+      ( "active",
+        Export.Json.Arr
+          (List.map
+             (fun (r, labels, v) ->
+               Export.Json.Obj
+                 ([ ("rule", Export.Json.Str r.rule_name) ]
+                 @ (match labels with [] -> [] | l -> [ ("labels", labels_json l) ])
+                 @ [ ("value", Export.Json.Num v) ]))
+             actives) );
+    ]
+
+let event_to_string e =
+  Printf.sprintf "ALERT %s: %s%s value=%g"
+    (match e.ev_transition with Fired -> "fired" | Cleared -> "cleared")
+    e.ev_rule
+    (match e.ev_labels with
+    | [] -> ""
+    | l ->
+      " {"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+      ^ "}")
+    e.ev_value

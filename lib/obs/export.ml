@@ -289,7 +289,10 @@ let add_data_line buf (name, labels, v) =
   Buffer.add_string buf (float_repr v);
   Buffer.add_char buf '\n'
 
+(* HELP text escaping per the exposition format: backslash first, then
+   newlines (label values use the stricter escape_label_value). *)
 let escape_help s =
+  let s = String.concat "\\\\" (String.split_on_char '\\' s) in
   String.concat "\\n" (String.split_on_char '\n' s)
 
 let to_prometheus samples =
@@ -464,3 +467,64 @@ let json_of_snapshot ?(spans = []) samples =
     ]
 
 let to_json_string ?spans samples = Json.to_string (json_of_snapshot ?spans samples)
+
+(* --- Chrome trace_event export (chrome://tracing, Perfetto) --- *)
+
+let to_trace_events ?(process_name = "patchwork") spans =
+  let events = ref [] in
+  (* reversed *)
+  let add e = events := e :: !events in
+  add
+    (Json.Obj
+       [
+         ("name", Json.Str "process_name");
+         ("ph", Json.Str "M");
+         ("pid", Json.Num 1.0);
+         ("tid", Json.Num 1.0);
+         ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+       ]);
+  let rec emit sp =
+    let args =
+      (("minor_words", Json.Num (Span.minor_words sp))
+       :: List.map (fun (k, v) -> (k, Json.Str v)) (Span.notes sp))
+      @
+      if Span.sampled_out sp > 0 then
+        [
+          ("children_total", Json.Num (float_of_int (Span.child_count sp)));
+          ("children_sampled_out", Json.Num (float_of_int (Span.sampled_out sp)));
+          ("children_wall_s", Json.Num (Span.child_wall_total sp));
+        ]
+      else []
+    in
+    add
+      (Json.Obj
+         [
+           ("name", Json.Str (Span.name sp));
+           ("cat", Json.Str "patchwork");
+           ("ph", Json.Str "B");
+           ("ts", Json.Num (Span.start_time sp *. 1e6));
+           ("pid", Json.Num 1.0);
+           ("tid", Json.Num 1.0);
+           ("args", Json.Obj args);
+         ]);
+    List.iter emit (Span.children sp);
+    add
+      (Json.Obj
+         [
+           ("name", Json.Str (Span.name sp));
+           ("cat", Json.Str "patchwork");
+           ("ph", Json.Str "E");
+           ("ts", Json.Num ((Span.start_time sp +. Span.wall sp) *. 1e6));
+           ("pid", Json.Num 1.0);
+           ("tid", Json.Num 1.0);
+         ])
+  in
+  List.iter emit spans;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let trace_events_string ?process_name spans =
+  Json.to_string (to_trace_events ?process_name spans)

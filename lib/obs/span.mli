@@ -17,9 +17,24 @@
 type t
 type span
 
-val create : ?max_roots:int -> unit -> t
+val create : ?max_roots:int -> ?max_children:int -> ?seed:int -> unit -> t
 (** [max_roots] bounds the finished-root history (default 1024); the
-    oldest roots are dropped beyond it. *)
+    oldest roots are dropped beyond it.
+
+    [max_children] bounds how many children each span {e retains}
+    (default unbounded): the first [max_children - max_children/2]
+    children are always kept, and the remainder of the budget is a
+    uniform reservoir over every later sibling, so week-long occasions
+    cannot grow unbounded span trees.  Children sampled out of the tree
+    still update their parent's exact aggregates ({!child_count},
+    {!child_wall_total}, {!child_minor_total}).  [seed] drives the
+    reservoir's deterministic PRNG. *)
+
+val set_max_children : t -> int -> unit
+(** Change the per-span retention budget for spans attached from now on
+    (how the CLI configures the process-wide {!default} tracer). *)
+
+val max_children : t -> int
 
 val default : t
 (** The process-wide tracer the instrumented layers write into. *)
@@ -39,13 +54,31 @@ val timed : ?tracer:t -> ?registry:Registry.t -> stage:string -> (unit -> 'a) ->
     defaulting to the process-wide instances). *)
 
 val name : span -> string
+
+val start_time : span -> float
+(** {!Clock} time at [start] (feeds the trace-event exporter). *)
+
 val wall : span -> float
 (** Seconds; 0 until finished. *)
 
 val minor_words : span -> float
 val notes : span -> (string * string) list
+
 val children : span -> span list
-(** Oldest first. *)
+(** Retained children, oldest first (arrival order even through the
+    reservoir). *)
+
+val child_count : span -> int
+(** Children ever attached — exact, including any sampled out. *)
+
+val child_wall_total : span -> float
+(** Total wall seconds of every finished child — exact, including any
+    sampled out. *)
+
+val child_minor_total : span -> float
+
+val sampled_out : span -> int
+(** [child_count] minus the retained children. *)
 
 val rollup : span -> (string * (int * float)) list
 (** Direct children grouped by name: (count, total wall), sorted by

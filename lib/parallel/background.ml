@@ -1,0 +1,36 @@
+type outcome = (unit, exn) result
+
+type t = {
+  bg_name : string;
+  mutable domain : outcome Domain.t option; (* None: spawn failed or joined *)
+  mutable result : outcome option;
+  running_flag : bool Atomic.t;
+}
+
+let spawn ?(name = "background") f =
+  let running_flag = Atomic.make false in
+  match
+    Domain.spawn (fun () ->
+        Atomic.set running_flag true;
+        let r = try Ok (f ()) with e -> Error e in
+        Atomic.set running_flag false;
+        r)
+  with
+  | d -> { bg_name = name; domain = Some d; result = None; running_flag }
+  | exception e ->
+    { bg_name = name; domain = None; result = Some (Error e); running_flag }
+
+let name t = t.bg_name
+let running t = Atomic.get t.running_flag
+
+let join t =
+  match t.result with
+  | Some r -> r
+  | None -> (
+    match t.domain with
+    | None -> Error (Failure "Background.join: no domain")
+    | Some d ->
+      let r = Domain.join d in
+      t.domain <- None;
+      t.result <- Some r;
+      r)

@@ -18,4 +18,5 @@ let () =
          Test_future.suites;
          Test_parallel.suites;
          Test_obs.suites;
+         Test_live.suites;
        ])

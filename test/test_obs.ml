@@ -155,6 +155,32 @@ let test_json_roundtrip () =
       | _ -> Alcotest.fail "child span missing")
     | _ -> Alcotest.fail "root span missing")
 
+(* Hostile metric help text and label values — quotes, backslashes,
+   newlines, the works — must survive the text exposition round trip. *)
+let qcheck_prometheus_escaping =
+  let hostile_string =
+    QCheck.(
+      string_gen_of_size
+        Gen.(1 -- 12)
+        Gen.(
+          oneof
+            [
+              char_range 'a' 'z';
+              oneofl [ '"'; '\\'; '\n'; '{'; '}'; '='; ','; ' ' ];
+            ]))
+  in
+  QCheck.Test.make ~name:"prometheus escaping round-trips" ~count:100
+    QCheck.(pair hostile_string hostile_string)
+    (fun (help, label_value) ->
+      let r = Registry.create () in
+      Registry.inc
+        (Registry.counter r "m_total" ~help ~labels:[ ("site", label_value) ])
+        7.0;
+      let snap = Registry.snapshot r in
+      match Export.parse_prometheus (Export.to_prometheus snap) with
+      | Error _ -> false
+      | Ok lines -> lines = Export.flatten snap)
+
 let test_json_parser_errors () =
   Alcotest.(check bool) "trailing garbage" true
     (Result.is_error (J.parse "{} x"));
@@ -227,6 +253,32 @@ let test_logging_ring () =
     [ "7"; "8"; "9"; "10" ]
     (List.map (fun e -> e.Logging.event) (Logging.entries log))
 
+let test_logging_drain_since () =
+  let log = Logging.create ~capacity:4 () in
+  Alcotest.(check int) "empty next_seq" 0 (Logging.next_seq log);
+  log_n log 10;
+  Alcotest.(check int) "next_seq counts everything" 10 (Logging.next_seq log);
+  (* Sequence numbers survive ring eviction: asking from 0 yields only
+     the retained tail, numbered by global position. *)
+  Alcotest.(check (list (pair int string)))
+    "tail from 0 shows the eviction gap"
+    [ (6, "7"); (7, "8"); (8, "9"); (9, "10") ]
+    (List.map (fun (i, e) -> (i, e.Logging.event)) (Logging.drain_since log ~seq:0));
+  Alcotest.(check (list (pair int string)))
+    "incremental tail"
+    [ (8, "9"); (9, "10") ]
+    (List.map (fun (i, e) -> (i, e.Logging.event)) (Logging.drain_since log ~seq:8));
+  Alcotest.(check (list (pair int string))) "caught up" []
+    (List.map
+       (fun (i, e) -> (i, e.Logging.event))
+       (Logging.drain_since log ~seq:(Logging.next_seq log)));
+  (* Unbounded logs tail the same way, without gaps. *)
+  let u = Logging.create () in
+  log_n u 3;
+  Alcotest.(check (list (pair int string))) "unbounded tail"
+    [ (0, "1"); (1, "2"); (2, "3") ]
+    (List.map (fun (i, e) -> (i, e.Logging.event)) (Logging.drain_since u ~seq:0))
+
 let test_logging_unbounded () =
   let log = Logging.create () in
   log_n log 10;
@@ -280,6 +332,7 @@ let suites =
         Alcotest.test_case "prometheus round-trip" `Quick test_prometheus_roundtrip;
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "json parser errors" `Quick test_json_parser_errors;
+        QCheck_alcotest.to_alcotest qcheck_prometheus_escaping;
       ] );
     ( "obs.span",
       [
@@ -291,5 +344,6 @@ let suites =
       [
         Alcotest.test_case "ring buffer" `Quick test_logging_ring;
         Alcotest.test_case "unbounded" `Quick test_logging_unbounded;
+        Alcotest.test_case "drain_since tailing" `Quick test_logging_drain_since;
       ] );
   ]
