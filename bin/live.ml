@@ -87,6 +87,7 @@ type t = {
   collector : Obs.Series.Collector.t;
   alerts : Obs.Alerts.t;
   log : Logging.t;
+  hook : Patchwork.Coordinator.hook_handle;
 }
 
 let start ?(rules = default_rules) ?baseline_at ~port ~log () =
@@ -97,7 +98,8 @@ let start ?(rules = default_rules) ?baseline_at ~port ~log () =
   (match baseline_at with
   | Some at -> Obs.Series.Collector.collect collector ~at Obs.Registry.default
   | None -> ());
-  Patchwork.Coordinator.on_occasion_complete (fun report ->
+  let hook =
+    Patchwork.Coordinator.on_occasion_complete (fun report ->
       let at =
         report.Patchwork.Coordinator.occasion_start
         +. report.Patchwork.Coordinator.occasion_duration
@@ -108,7 +110,8 @@ let start ?(rules = default_rules) ?baseline_at ~port ~log () =
         (fun e ->
           Logging.log log ~time:at ~level:Logging.Warning ~component:"alerts"
             (Obs.Alerts.event_to_string e))
-        events);
+        events)
+  in
   let server =
     Obs.Http.create ~port (routes ~log ~collector ~alerts)
   in
@@ -116,11 +119,14 @@ let start ?(rules = default_rules) ?baseline_at ~port ~log () =
     Parallel.Background.spawn ~name:"metrics-http" (fun () ->
         Obs.Http.run server)
   in
-  { server; bg; collector; alerts; log }
+  { server; bg; collector; alerts; log; hook }
 
 let port t = Obs.Http.port t.server
 
 let stop t =
+  (* Unhook first: occasions run after stop must not feed the dead
+     collector, and repeated start/stop must not accumulate hooks. *)
+  Patchwork.Coordinator.remove_hook t.hook;
   Obs.Http.stop t.server;
   match Parallel.Background.join t.bg with
   | Ok () -> ()

@@ -35,12 +35,24 @@ let obs_occasions =
    which entry point ran the occasion.  The counter doubles as the
    /readyz signal — the service is ready once one occasion completed. *)
 let completed = Atomic.make 0
-let hooks : (occasion_report -> unit) list ref = ref []
+
+type hook_handle = int
+
+let hooks : (hook_handle * (occasion_report -> unit)) list ref = ref []
 let hooks_lock = Mutex.create ()
+let next_hook_id = ref 0
 
 let on_occasion_complete f =
   Mutex.lock hooks_lock;
-  hooks := f :: !hooks;
+  incr next_hook_id;
+  let id = !next_hook_id in
+  hooks := (id, f) :: !hooks;
+  Mutex.unlock hooks_lock;
+  id
+
+let remove_hook id =
+  Mutex.lock hooks_lock;
+  hooks := List.filter (fun (i, _) -> i <> id) !hooks;
   Mutex.unlock hooks_lock
 
 let occasions_completed () = Atomic.get completed
@@ -51,7 +63,7 @@ let run_hooks report =
   let fs = !hooks in
   Mutex.unlock hooks_lock;
   List.iter
-    (fun f ->
+    (fun (_, f) ->
       try f report
       with e ->
         Logging.log report.log ~time:report.occasion_start

@@ -62,11 +62,18 @@ val run_occasion :
     of the federation; in [Single_experiment] mode only the sites (and
     ports) of the user's slice. *)
 
-val on_occasion_complete : (occasion_report -> unit) -> unit
+type hook_handle
+
+val on_occasion_complete : (occasion_report -> unit) -> hook_handle
 (** Register a hook invoked (in registration order) after every
     completed occasion — the live exposition stack uses this to sample
     series and evaluate alert rules.  Exceptions are caught and logged
-    as warnings into the occasion's log. *)
+    as warnings into the occasion's log.  The returned handle
+    unregisters the hook via {!remove_hook}, so a stopped exposition
+    stack no longer receives occasions. *)
+
+val remove_hook : hook_handle -> unit
+(** Unregister a hook; idempotent. *)
 
 val occasions_completed : unit -> int
 (** Occasions completed in this process (across all entry points). *)

@@ -65,6 +65,7 @@ type state = {
   mutable firing : bool;
   mutable last_value : float;
   mutable since : float;
+  mutable last_at : float; (* timestamp of the last evaluated point *)
 }
 
 type t = {
@@ -120,12 +121,24 @@ let evaluate t ~at collector =
               | Some st -> st
               | None ->
                 let st =
-                  { consecutive = 0; firing = false; last_value = 0.0; since = 0.0 }
+                  {
+                    consecutive = 0;
+                    firing = false;
+                    last_value = 0.0;
+                    since = 0.0;
+                    last_at = Float.nan;
+                  }
                 in
                 Hashtbl.add t.states key st;
                 st
             in
             locked t @@ fun () ->
+            (* A series with no new point since the last evaluate (e.g.
+               a histogram-backed series before the pool runs) must not
+               re-count the same sample toward "for N". *)
+            if p.Series.at = st.last_at then ()
+            else begin
+            st.last_at <- p.Series.at;
             st.last_value <- p.Series.value;
             if violates r.op r.threshold p.Series.value then begin
               st.consecutive <- st.consecutive + 1;
@@ -159,6 +172,7 @@ let evaluate t ~at collector =
                   }
                   :: !events
               end
+            end
             end)
         matching)
     rules;

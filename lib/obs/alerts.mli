@@ -62,8 +62,10 @@ val rules : t -> rule list
 
 val evaluate : t -> at:float -> Series.Collector.t -> event list
 (** Check every rule against the newest point of every matching series;
-    thread-safe.  Returns the transitions of this round (empty when
-    nothing changed state). *)
+    thread-safe.  A series whose newest point is unchanged since the
+    previous evaluate is skipped, so a stale sample is never re-counted
+    toward a rule's "for N".  Returns the transitions of this round
+    (empty when nothing changed state). *)
 
 val active : t -> (rule * Registry.labels * float) list
 (** Currently-firing (rule, series labels, last value), sorted. *)

@@ -146,6 +146,11 @@ type server = {
 }
 
 let create ?(max_request_bytes = 8192) ?(backlog = 16) ~port handler =
+  (* A scrape client that disconnects mid-response (curl Ctrl-C, RST)
+     would otherwise deliver SIGPIPE on write, whose default action
+     kills the whole process; with it ignored the write raises
+     [Unix_error EPIPE], which the per-connection handler swallows. *)
+  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -254,6 +259,13 @@ let run t =
       | ready, _, _ when List.memq t.listen_fd ready ->
         (match Unix.accept t.listen_fd with
         | fd, _ ->
+          (* Mirror read_head's deadline on the write side: a client
+             that never reads must not wedge write_all (and with it
+             every endpoint) once the body exceeds the socket buffer.
+             A timed-out write raises [Unix_error EAGAIN], aborting
+             just this connection. *)
+          (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+           with Unix.Unix_error _ -> ());
           Fun.protect
             ~finally:(fun () -> try Unix.close fd with _ -> ())
             (fun () -> try handle_connection t fd with _ -> ())

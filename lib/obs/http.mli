@@ -44,7 +44,10 @@ val create :
 (** Bind [127.0.0.1:port] ([SO_REUSEADDR]; [port = 0] picks an
     ephemeral port) and listen.  [max_request_bytes] (default 8192)
     bounds the request head; longer requests are answered with 431.
-    Raises [Unix.Unix_error] if the bind fails. *)
+    Also ignores [SIGPIPE] process-wide (non-Windows) so a scrape
+    client disconnecting mid-response surfaces as [EPIPE] on the
+    connection instead of killing the service.  Raises
+    [Unix.Unix_error] if the bind fails. *)
 
 val port : server -> int
 (** The actually-bound port (useful with [port = 0]). *)

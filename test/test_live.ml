@@ -113,6 +113,19 @@ let test_http_socket_smoke () =
       (match Http.get ~port ("/" ^ String.make 9000 'a') with
       | Ok (status, _) -> Alcotest.(check int) "431" 431 status
       | Error msg -> Alcotest.fail msg);
+      (* A client that RSTs the connection before reading the response
+         (SO_LINGER 0 + close) must not take the server down via
+         SIGPIPE; the next scrape still answers. *)
+      (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       let req = Bytes.of_string "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n" in
+       ignore (Unix.write fd req 0 (Bytes.length req));
+       Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+       Unix.close fd);
+      (match Http.get ~port "/metrics" with
+      | Ok (status, _) ->
+        Alcotest.(check int) "alive after client RST" 200 status
+      | Error msg -> Alcotest.fail ("server died after client RST: " ^ msg));
       (* HEAD: status line + headers, no body. *)
       let raw = raw_request ~port "HEAD /metrics HTTP/1.1\r\nHost: t\r\n\r\n" in
       Alcotest.(check bool) "HEAD is 200" true
@@ -260,6 +273,14 @@ let test_alert_fires_and_clears () =
   Alcotest.(check int) "no event on 2nd violation" 0
     (List.length (occasion ~at:200.0 ~dropped:100.0));
   Alcotest.(check bool) "not yet active" true (Alerts.active alerts = []);
+  (* Re-evaluating without a new collection must not re-count the same
+     stale point toward "for 3". *)
+  Alcotest.(check int) "stale re-evaluate emits nothing" 0
+    (List.length (Alerts.evaluate alerts ~at:250.0 col));
+  Alcotest.(check int) "stale re-evaluate again" 0
+    (List.length (Alerts.evaluate alerts ~at:260.0 col));
+  Alcotest.(check bool) "still not active after stale rounds" true
+    (Alerts.active alerts = []);
   (* 3rd consecutive violation: fires. *)
   (match occasion ~at:300.0 ~dropped:100.0 with
   | [ e ] ->
