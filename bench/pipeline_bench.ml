@@ -1,0 +1,181 @@
+(* Sequential vs pipelined weekly service, plus the determinism checks
+   behind both: the cumulative profile must be byte-identical whichever
+   way the occasions are scheduled, and the traffic driver's synthesis
+   must be bit-identical at any pool size and presample slab.
+
+   Wall clock is hardware-dependent — on a single-core container the
+   pipelined run can even be slower (two domains contending for one
+   core) — so the pass/fail signal is identity, and the wall times are
+   recorded for the multicore trend across commits.
+
+   Environment knobs (for CI smoke runs):
+     PATCHWORK_BENCH_WEEKS    occasions per service run (default 3)
+     PATCHWORK_BENCH_HOURS    simulated hours per occasion (default 1)
+     PATCHWORK_BENCH_DOMAINS  pool size per stage (default 2) *)
+
+module J = Obs.Export.Json
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let seed = 2024
+let start_day = 30
+
+(* One simulated week, mirroring the CLI's weekly loop. *)
+let run_week ~pool ~hours w =
+  let day = start_day + (7 * w) in
+  let start_time = float_of_int day *. Netcore.Timebase.day in
+  let engine = Simcore.Engine.create ~start_time () in
+  let fabric = Testbed.Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create ~pool fabric ~seed:(seed + (31 * w)) in
+  let config =
+    {
+      Patchwork.Config.default with
+      Patchwork.Config.samples_per_run = 4;
+      max_frames_per_sample = 2000;
+      pool_size = Parallel.Pool.size pool;
+    }
+  in
+  Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool ~start_time
+    ~duration:(hours *. Netcore.Timebase.hour) ()
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* --- driver synthesis determinism: pool sizes x slab lengths --- *)
+
+(* Fingerprint of a finished traffic run: spawn count, the live spec
+   table (sorted by flow id, full structural content) and the total
+   bytes the switch counters saw — the latter covers flows that already
+   detached. *)
+let synthesis_fingerprint ~pool_size ~slab =
+  Parallel.Pool.with_pool ~size:pool_size @@ fun pool ->
+  let engine = Simcore.Engine.create () in
+  let fabric = Testbed.Fablib.create ~seed:7 engine in
+  let driver = Traffic.Driver.create ~pool ~slab fabric ~seed:7 in
+  Traffic.Driver.start driver ~until:5400.0;
+  Simcore.Engine.run ~until:5400.0 engine;
+  let specs = ref [] in
+  let m = Testbed.Fablib.model fabric in
+  let tx = ref 0.0 in
+  Array.iter
+    (fun (site : Testbed.Info_model.site) ->
+      let name = site.Testbed.Info_model.name in
+      let sw = Testbed.Fablib.switch fabric ~site:name in
+      List.iter
+        (fun port ->
+          tx := !tx +. (Testbed.Switch.read_counters sw ~port).Testbed.Switch.tx_bytes;
+          List.iter
+            (fun (a : Testbed.Switch.attachment) ->
+              match Traffic.Driver.resolver driver a.Testbed.Switch.flow with
+              | Some spec -> specs := spec :: !specs
+              | None -> ())
+            (Testbed.Switch.attachments sw ~port))
+        (Testbed.Fablib.all_ports fabric ~site:name))
+    m.Testbed.Info_model.sites;
+  let specs =
+    List.sort_uniq
+      (fun (a : Traffic.Flow_model.spec) b ->
+        compare a.Traffic.Flow_model.flow_id b.Traffic.Flow_model.flow_id)
+      !specs
+  in
+  (Traffic.Driver.spawned_flows driver, specs, !tx)
+
+let () =
+  let weeks = getenv_int "PATCHWORK_BENCH_WEEKS" 3 in
+  let hours = getenv_float "PATCHWORK_BENCH_HOURS" 1.0 in
+  let domains = getenv_int "PATCHWORK_BENCH_DOMAINS" 2 in
+  Printf.printf "pipeline bench: %d weeks x %.1fh, %d domain(s) per stage\n%!"
+    weeks hours domains;
+
+  (* Sequential weekly service. *)
+  let (profile_seq : Analysis.Profile.t), seq_wall =
+    wall (fun () ->
+        Parallel.Pool.with_pool ~size:domains @@ fun pool ->
+        let b = Analysis.Profile.Builder.create () in
+        for w = 0 to weeks - 1 do
+          Analysis.Profile.Builder.add_report ~pool b (run_week ~pool ~hours w)
+        done;
+        Analysis.Profile.Builder.finish b)
+  in
+  Printf.printf "sequential: %.3f s\n%!" seq_wall;
+
+  (* Pipelined weekly service: simulate on a background domain, absorb
+     on this one; separate pools per stage. *)
+  let (profile_pipe, stats), pipe_wall =
+    wall (fun () ->
+        Parallel.Pool.with_pool ~size:domains @@ fun an_pool ->
+        Parallel.Pool.with_pool ~size:domains @@ fun sim_pool ->
+        let b = Analysis.Profile.Builder.create () in
+        let stats =
+          Patchwork.Pipeline.run ~n:weeks
+            ~produce:(fun w -> run_week ~pool:sim_pool ~hours w)
+            ~consume:(fun _ report ->
+              Analysis.Profile.Builder.add_report ~pool:an_pool b report)
+            ()
+        in
+        (Analysis.Profile.Builder.finish b, stats))
+  in
+  let identical = Analysis.Profile.equal profile_seq profile_pipe in
+  Printf.printf
+    "pipelined:  %.3f s (simulate %.3f s, analyze %.3f s, overlap %.3f s, max \
+     depth %d)  identical=%b\n%!"
+    pipe_wall stats.Patchwork.Pipeline.produce_busy_s
+    stats.Patchwork.Pipeline.consume_busy_s stats.Patchwork.Pipeline.overlap_s
+    stats.Patchwork.Pipeline.max_depth identical;
+
+  (* Synthesis determinism across pool sizes and slab lengths. *)
+  let reference = synthesis_fingerprint ~pool_size:1 ~slab:900.0 in
+  let synth_identical = ref true in
+  List.iter
+    (fun (pool_size, slab) ->
+      let fp = synthesis_fingerprint ~pool_size ~slab in
+      let same = fp = reference in
+      if not same then synth_identical := false;
+      let spawned, _, _ = fp in
+      Printf.printf "synthesis pool=%d slab=%5.0fs: %d flows  identical=%b\n%!"
+        pool_size slab spawned same)
+    [ (2, 900.0); (4, 900.0); (4, 300.0); (1, 7200.0) ];
+
+  let oc = open_out "BENCH_pipeline.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (J.to_string
+           (J.Obj
+              [
+                ("bench", J.Str "pipeline");
+                ("weeks", J.Num (float_of_int weeks));
+                ("hours", J.Num hours);
+                ("domains", J.Num (float_of_int domains));
+                ("sequential_wall_s", J.Num seq_wall);
+                ("pipelined_wall_s", J.Num pipe_wall);
+                ("speedup", J.Num (seq_wall /. Float.max 1e-9 pipe_wall));
+                ("produce_busy_s", J.Num stats.Patchwork.Pipeline.produce_busy_s);
+                ("consume_busy_s", J.Num stats.Patchwork.Pipeline.consume_busy_s);
+                ("overlap_s", J.Num stats.Patchwork.Pipeline.overlap_s);
+                ("max_queue_depth", J.Num (float_of_int stats.Patchwork.Pipeline.max_depth));
+                ("identical", J.Bool identical);
+                ("synthesis_identical", J.Bool !synth_identical);
+              ]));
+      output_char oc '\n');
+  Printf.printf "wrote BENCH_pipeline.json\n%!";
+  if not identical then begin
+    Printf.printf "FAIL: pipelined profile diverged from the sequential one\n";
+    exit 1
+  end;
+  if not !synth_identical then begin
+    Printf.printf
+      "FAIL: traffic synthesis diverged across pool sizes / slab lengths\n";
+    exit 1
+  end

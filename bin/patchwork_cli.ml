@@ -80,7 +80,7 @@ let run_profile_occasion ~seed ~hours ~site ~max_frames pool =
   let start_time = 100.0 *. Netcore.Timebase.day in
   let engine = Simcore.Engine.create ~start_time () in
   let fabric = Testbed.Fablib.create ~seed engine in
-  let driver = Traffic.Driver.create fabric ~seed in
+  let driver = Traffic.Driver.create ~pool fabric ~seed in
   let mode =
     match site with
     | None -> Patchwork.Config.All_experiments
@@ -353,8 +353,25 @@ let weekly_cmd =
     in
     Arg.(value & opt_all string [] & info [ "alert" ] ~docv:"RULE" ~doc)
   in
+  let pipeline =
+    let doc =
+      "Overlap each week's analysis with the next week's simulation: the \
+       occasions run on a background domain one stage ahead of the \
+       profile builder (each stage gets its own domain pool).  The \
+       cumulative profile is byte-identical to the sequential run; only \
+       wall-clock changes."
+    in
+    Arg.(value & flag & info [ "pipeline" ] ~doc)
+  in
+  let pipeline_depth =
+    let doc =
+      "With $(b,--pipeline): how many finished occasions may wait in the \
+       hand-off queue before the simulation stage blocks."
+    in
+    Arg.(value & opt int 1 & info [ "pipeline-depth" ] ~docv:"N" ~doc)
+  in
   let run seed weeks start_day hours out domains metrics_out metrics_format
-      serve_metrics hold alert_rules =
+      serve_metrics hold alert_rules pipeline pipeline_depth =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
@@ -383,12 +400,15 @@ let weekly_cmd =
     in
     (with_domains domains @@ fun pool ->
     let builder = Analysis.Profile.Builder.create () in
-    for w = 0 to weeks - 1 do
+    (* One simulated week: fresh engine/fabric/driver, one occasion.
+       Independent across weeks, which is what lets the pipelined mode
+       run week w+1 while week w is still being absorbed. *)
+    let run_week ~pool w =
       let day = start_day + (7 * w) in
       let start_time = float_of_int day *. Netcore.Timebase.day in
       let engine = Simcore.Engine.create ~start_time () in
       let fabric = Testbed.Fablib.create ~seed engine in
-      let driver = Traffic.Driver.create fabric ~seed:(seed + (31 * w)) in
+      let driver = Traffic.Driver.create ~pool fabric ~seed:(seed + (31 * w)) in
       let config =
         {
           Patchwork.Config.default with
@@ -416,8 +436,34 @@ let weekly_cmd =
       Printf.printf "week of day %3d: %d/%d sites profiled, %d samples\n%!" day ok
         (List.length report.Patchwork.Coordinator.sites)
         (List.length (Patchwork.Coordinator.all_samples report));
-      Analysis.Profile.Builder.add_report ~pool builder report
-    done;
+      report
+    in
+    if pipeline then begin
+      (* Two-stage pipeline: simulation on a background domain with its
+         own pool, analysis on this domain with [pool] (a pool must be
+         owned by one domain at a time).  The hand-off queue preserves
+         week order, so the profile matches the sequential loop. *)
+      with_domains domains @@ fun sim_pool ->
+      let stats =
+        Patchwork.Pipeline.run ~depth:pipeline_depth ~n:weeks
+          ~produce:(fun w -> run_week ~pool:sim_pool w)
+          ~consume:(fun _ report ->
+            Analysis.Profile.Builder.add_report ~pool builder report)
+          ()
+      in
+      Printf.printf
+        "pipeline: %d weeks in %.2fs wall (simulate %.2fs, analyze %.2fs, \
+         overlap %.2fs, max queue depth %d)\n%!"
+        stats.Patchwork.Pipeline.items stats.Patchwork.Pipeline.wall_s
+        stats.Patchwork.Pipeline.produce_busy_s
+        stats.Patchwork.Pipeline.consume_busy_s
+        stats.Patchwork.Pipeline.overlap_s stats.Patchwork.Pipeline.max_depth
+    end
+    else
+      for w = 0 to weeks - 1 do
+        let report = run_week ~pool w in
+        Analysis.Profile.Builder.add_report ~pool builder report
+      done;
     let profile = Analysis.Profile.Builder.finish builder in
     Format.printf "%a" Analysis.Profile.pp_summary profile;
     let csvs = Analysis.Profile.write_csv_files profile ~dir:out in
@@ -443,7 +489,7 @@ let weekly_cmd =
     Term.(
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
       $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
-      $ alert_rules)
+      $ alert_rules $ pipeline $ pipeline_depth)
 
 (* --- release --- *)
 

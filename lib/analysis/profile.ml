@@ -203,6 +203,11 @@ module Builder = struct
     }
 end
 
+(* Every field is pure data (floats, ints, strings, arrays, lists), so
+   polymorphic equality is exact; this is what the pipelined-vs-
+   sequential identity checks assert. *)
+let equal (a : t) (b : t) = a = b
+
 let of_reports ?pool reports =
   let b = Builder.create () in
   List.iter (Builder.add_report ?pool b) reports;

@@ -47,6 +47,12 @@ val of_reports :
   ?pool:Parallel.Pool.t -> Patchwork.Coordinator.occasion_report list -> t
 (** Convenience wrapper over {!Builder} for small report sets. *)
 
+val equal : t -> t -> bool
+(** Structural equality over the whole profile — every aggregate,
+    histogram bin and flow summary.  The pipelined weekly service and
+    the parallel builders are required to produce profiles [equal] to
+    their sequential counterparts. *)
+
 val write_csv_files : t -> dir:string -> string list
 (** Emit the Process-step CSVs into [dir]; returns the file names
     written. *)

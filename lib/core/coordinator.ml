@@ -46,7 +46,10 @@ let on_occasion_complete f =
   Mutex.lock hooks_lock;
   incr next_hook_id;
   let id = !next_hook_id in
-  hooks := (id, f) :: !hooks;
+  (* Appending keeps the list in registration order, so run_hooks (per
+     occasion) iterates it directly instead of List.rev-ing every time;
+     registration is rare, occasions are not. *)
+  hooks := !hooks @ [ (id, f) ];
   Mutex.unlock hooks_lock;
   id
 
@@ -69,7 +72,7 @@ let run_hooks report =
         Logging.log report.log ~time:report.occasion_start
           ~level:Logging.Warning ~component:"coordinator"
           ("occasion hook failed: " ^ Printexc.to_string e))
-    (List.rev fs)
+    fs
 
 let outcome_label = function
   | Site_success -> "success"

@@ -1,0 +1,58 @@
+(** Two-stage occasion pipeline for the weekly service.
+
+    The weekly service's occasions are independent — each week builds
+    its own engine, fabric and traffic driver — but their results must
+    be folded into the cumulative profile in week order.  {!run}
+    overlaps the two stages: a {e producer} (simulate + gather occasion
+    [k]) runs on a background domain while the {e consumer} (digest +
+    absorb occasion [k-1]) runs on the calling domain, connected by a
+    bounded in-order hand-off queue.  Because the queue preserves order
+    and the consumer runs on one domain, an order-sensitive consumer
+    such as [Analysis.Profile.Builder.add_report] produces output
+    byte-identical to the sequential loop; only wall-clock changes.
+
+    Each stage must own its resources: in particular a
+    [Parallel.Pool] is owned by one domain at a time, so the producer
+    and consumer must use distinct pools (or [Parallel.Pool.sequential]).
+
+    Shared observability state is safe across the two stages: the
+    metrics registry, the ring log and the span tracer are all
+    mutex-protected (concurrent spans from the two stages may interleave
+    in the trace tree, but aggregates stay exact).
+
+    Metrics (in [Obs.Registry.default]): [pipeline_queue_depth] gauge,
+    [pipeline_items_produced_total] / [pipeline_items_consumed_total],
+    [pipeline_stage_busy_seconds_total{stage=produce|consume}] and
+    [pipeline_overlap_seconds_total]. *)
+
+type stats = {
+  items : int;  (** items produced and consumed *)
+  wall_s : float;  (** end-to-end wall time of the run *)
+  produce_busy_s : float;  (** total seconds the producer stage worked *)
+  consume_busy_s : float;  (** total seconds the consumer stage worked *)
+  overlap_s : float;
+      (** lower bound on concurrent stage work:
+          [max 0 (produce_busy + consume_busy - wall)] *)
+  max_depth : int;  (** high-water mark of the hand-off queue *)
+}
+
+val run :
+  ?depth:int ->
+  n:int ->
+  produce:(int -> 'a) ->
+  consume:(int -> 'a -> unit) ->
+  unit ->
+  stats
+(** [run ~n ~produce ~consume ()] evaluates [consume k (produce k)] for
+    [k = 0 .. n-1] with [produce] one stage ahead of [consume].
+    [depth] (default 1) bounds how many finished-but-unconsumed items
+    may exist, i.e. how far the producer may run ahead.
+
+    [produce] runs on a background domain; [consume] runs on the
+    calling domain, in item order.  If the background domain cannot be
+    spawned, the whole run degrades to the plain sequential loop.
+
+    An exception from [produce k] is re-raised in the caller after
+    items [0 .. k-1] have been consumed; an exception from [consume]
+    cancels the producer and is re-raised.  Raises [Invalid_argument]
+    if [depth < 1] or [n < 0]. *)

@@ -5,6 +5,7 @@ type t = {
   mutable domain : outcome Domain.t option; (* None: spawn failed or joined *)
   mutable result : outcome option;
   running_flag : bool Atomic.t;
+  spawn_ok : bool;
 }
 
 let spawn ?(name = "background") f =
@@ -16,12 +17,16 @@ let spawn ?(name = "background") f =
         Atomic.set running_flag false;
         r)
   with
-  | d -> { bg_name = name; domain = Some d; result = None; running_flag }
+  | d ->
+    { bg_name = name; domain = Some d; result = None; running_flag;
+      spawn_ok = true }
   | exception e ->
-    { bg_name = name; domain = None; result = Some (Error e); running_flag }
+    { bg_name = name; domain = None; result = Some (Error e); running_flag;
+      spawn_ok = false }
 
 let name t = t.bg_name
 let running t = Atomic.get t.running_flag
+let spawned t = t.spawn_ok
 
 let join t =
   match t.result with

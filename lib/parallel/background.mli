@@ -20,6 +20,12 @@ val name : t -> string
 val running : t -> bool
 (** The task has started and not yet finished (best-effort flag). *)
 
+val spawned : t -> bool
+(** Whether the domain was actually created.  [false] means [f] never
+    ran and {!join} will return the spawn error; callers that can fall
+    back to running the work inline (e.g. the occasion pipeline) check
+    this immediately after {!spawn}. *)
+
 val join : t -> (unit, exn) result
 (** Wait for the task to finish and return its outcome; idempotent
     (later calls return the first outcome).  Callers must make the task

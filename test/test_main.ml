@@ -19,4 +19,5 @@ let () =
          Test_parallel.suites;
          Test_obs.suites;
          Test_live.suites;
+         Test_pipeline.suites;
        ])

@@ -1,0 +1,219 @@
+(* Core.Pipeline and the identity properties behind the pipelined weekly
+   service: the hand-off queue preserves order and propagates errors,
+   the pipelined service produces a profile byte-identical to the
+   sequential loop at any pool size and queue depth, and the traffic
+   driver's per-site synthesis is bit-identical at any pool size and
+   presample slab. *)
+
+module Pipeline = Patchwork.Pipeline
+module Pool = Parallel.Pool
+
+(* --- the pipeline runner itself --- *)
+
+let test_pipeline_order () =
+  let consumed = ref [] in
+  let stats =
+    Pipeline.run ~n:8
+      ~produce:(fun k -> k * k)
+      ~consume:(fun k v -> consumed := (k, v) :: !consumed)
+      ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "in order, producer values intact"
+    (List.init 8 (fun k -> (k, k * k)))
+    (List.rev !consumed);
+  Alcotest.(check int) "stats.items" 8 stats.Pipeline.items
+
+let test_pipeline_depth_bound () =
+  (* With depth 2 the producer can run at most 2 items ahead; the
+     queue's high-water mark must respect that. *)
+  let stats =
+    Pipeline.run ~depth:2 ~n:20
+      ~produce:(fun k -> k)
+      ~consume:(fun _ _ -> Domain.cpu_relax ())
+      ()
+  in
+  Alcotest.(check bool) "max_depth within bound" true (stats.Pipeline.max_depth <= 2)
+
+let test_pipeline_empty_and_invalid () =
+  let stats = Pipeline.run ~n:0 ~produce:(fun k -> k) ~consume:(fun _ _ -> ()) () in
+  Alcotest.(check int) "zero items" 0 stats.Pipeline.items;
+  Alcotest.check_raises "depth 0 rejected"
+    (Invalid_argument "Pipeline.run: depth must be >= 1") (fun () ->
+      ignore (Pipeline.run ~depth:0 ~n:1 ~produce:(fun k -> k) ~consume:(fun _ _ -> ()) ()));
+  Alcotest.check_raises "negative n rejected"
+    (Invalid_argument "Pipeline.run: n must be >= 0") (fun () ->
+      ignore (Pipeline.run ~n:(-1) ~produce:(fun k -> k) ~consume:(fun _ _ -> ()) ()))
+
+let test_pipeline_producer_error () =
+  let consumed = ref [] in
+  (try
+     ignore
+       (Pipeline.run ~n:5
+          ~produce:(fun k -> if k = 2 then failwith "producer boom" else k)
+          ~consume:(fun k _ -> consumed := k :: !consumed)
+          ());
+     Alcotest.fail "expected exception"
+   with Failure msg -> Alcotest.(check string) "message" "producer boom" msg);
+  Alcotest.(check (list int)) "items before the failure were consumed" [ 0; 1 ]
+    (List.rev !consumed)
+
+let test_pipeline_consumer_error () =
+  let produced = ref 0 in
+  (try
+     ignore
+       (Pipeline.run ~n:100
+          ~produce:(fun k ->
+            incr produced;
+            k)
+          ~consume:(fun k _ -> if k = 1 then failwith "consumer boom")
+          ());
+     Alcotest.fail "expected exception"
+   with Failure msg -> Alcotest.(check string) "message" "consumer boom" msg);
+  (* The producer was cancelled: it cannot have raced through all 100
+     items while the consumer died on item 1 with a depth-1 queue. *)
+  Alcotest.(check bool) "producer stopped early" true (!produced < 100)
+
+(* --- pipelined weekly equals sequential weekly --- *)
+
+let weekly_seed = 2024
+let weekly_weeks = 2
+
+let run_week ~pool w =
+  let start_time = float_of_int (30 + (7 * w)) *. Netcore.Timebase.day in
+  let engine = Simcore.Engine.create ~start_time () in
+  let fabric = Testbed.Fablib.create ~seed:weekly_seed engine in
+  let driver =
+    Traffic.Driver.create ~pool fabric ~seed:(weekly_seed + (31 * w))
+  in
+  let config =
+    {
+      Patchwork.Config.default with
+      Patchwork.Config.samples_per_run = 2;
+      max_frames_per_sample = 200;
+      pool_size = Pool.size pool;
+    }
+  in
+  Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool ~start_time
+    ~duration:1500.0 ()
+
+let weekly_profile_sequential ~size =
+  Pool.with_pool ~size @@ fun pool ->
+  let b = Analysis.Profile.Builder.create () in
+  for w = 0 to weekly_weeks - 1 do
+    Analysis.Profile.Builder.add_report ~pool b (run_week ~pool w)
+  done;
+  Analysis.Profile.Builder.finish b
+
+let weekly_profile_pipelined ~size ~depth =
+  Pool.with_pool ~size @@ fun an_pool ->
+  Pool.with_pool ~size @@ fun sim_pool ->
+  let b = Analysis.Profile.Builder.create () in
+  ignore
+    (Pipeline.run ~depth ~n:weekly_weeks
+       ~produce:(fun w -> run_week ~pool:sim_pool w)
+       ~consume:(fun _ report ->
+         Analysis.Profile.Builder.add_report ~pool:an_pool b report)
+       ());
+  Analysis.Profile.Builder.finish b
+
+let reference_profile = lazy (weekly_profile_sequential ~size:1)
+
+let qcheck_pipelined_weekly_identical =
+  QCheck.Test.make ~name:"pipelined weekly profile equals sequential" ~count:4
+    QCheck.(pair (QCheck.oneofl [ 1; 2; 4 ]) (int_range 1 3))
+    (fun (size, depth) ->
+      Analysis.Profile.equal
+        (Lazy.force reference_profile)
+        (weekly_profile_pipelined ~size ~depth))
+
+let test_sequential_pool_size_independent () =
+  Alcotest.(check bool) "pool size 2 equals size 1" true
+    (Analysis.Profile.equal
+       (Lazy.force reference_profile)
+       (weekly_profile_sequential ~size:2))
+
+(* --- traffic synthesis is pool-size- and slab-independent --- *)
+
+(* Fingerprint of a finished synthesis run: spawn count, live spec table
+   (full structural content, sorted by flow id) and total switch Tx
+   bytes (covers flows that already detached). *)
+let synthesis_fingerprint ~seed ~pool_size ~slab =
+  Pool.with_pool ~size:pool_size @@ fun pool ->
+  let engine = Simcore.Engine.create () in
+  let fabric = Testbed.Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create ~pool ~slab fabric ~seed in
+  Traffic.Driver.start driver ~until:3600.0;
+  Simcore.Engine.run ~until:3600.0 engine;
+  let specs = ref [] in
+  let tx = ref 0.0 in
+  let m = Testbed.Fablib.model fabric in
+  Array.iter
+    (fun (site : Testbed.Info_model.site) ->
+      let name = site.Testbed.Info_model.name in
+      let sw = Testbed.Fablib.switch fabric ~site:name in
+      List.iter
+        (fun port ->
+          tx :=
+            !tx
+            +. (Testbed.Switch.read_counters sw ~port).Testbed.Switch.tx_bytes;
+          List.iter
+            (fun (a : Testbed.Switch.attachment) ->
+              match Traffic.Driver.resolver driver a.Testbed.Switch.flow with
+              | Some spec -> specs := spec :: !specs
+              | None -> ())
+            (Testbed.Switch.attachments sw ~port))
+        (Testbed.Fablib.all_ports fabric ~site:name))
+    m.Testbed.Info_model.sites;
+  let specs =
+    List.sort_uniq
+      (fun (a : Traffic.Flow_model.spec) b ->
+        compare a.Traffic.Flow_model.flow_id b.Traffic.Flow_model.flow_id)
+      !specs
+  in
+  (Traffic.Driver.spawned_flows driver, specs, !tx)
+
+let qcheck_synthesis_deterministic =
+  QCheck.Test.make ~name:"parallel synthesis deterministic (pool, slab)"
+    ~count:6
+    QCheck.(
+      triple (int_range 0 3) (QCheck.oneofl [ 1; 2; 4 ])
+        (QCheck.oneofl [ 150.0; 900.0; 3600.0; 7200.0 ]))
+    (fun (seed, pool_size, slab) ->
+      let reference = synthesis_fingerprint ~seed ~pool_size:1 ~slab:900.0 in
+      synthesis_fingerprint ~seed ~pool_size ~slab = reference)
+
+let test_striped_flow_ids_unique () =
+  (* Flow ids are striped per site; every live id must be distinct and
+     resolve, whatever the pool size. *)
+  Pool.with_pool ~size:3 @@ fun pool ->
+  let engine = Simcore.Engine.create () in
+  let fabric = Testbed.Fablib.create ~seed:9 engine in
+  let driver = Traffic.Driver.create ~pool fabric ~seed:9 in
+  Traffic.Driver.start driver ~until:3600.0;
+  Simcore.Engine.run ~until:3600.0 engine;
+  Alcotest.(check bool) "flows spawned" true (Traffic.Driver.spawned_flows driver > 50);
+  (* Drain: after every flow ends, the spec table must be empty (no id
+     ever collided with — and deleted — another site's entry). *)
+  Simcore.Engine.run engine;
+  Alcotest.(check int) "all flows detached" 0 (Traffic.Driver.live_flow_count driver)
+
+let suites =
+  [
+    ( "core.pipeline",
+      [
+        Alcotest.test_case "ordered hand-off" `Quick test_pipeline_order;
+        Alcotest.test_case "bounded depth" `Quick test_pipeline_depth_bound;
+        Alcotest.test_case "empty and invalid" `Quick test_pipeline_empty_and_invalid;
+        Alcotest.test_case "producer error" `Quick test_pipeline_producer_error;
+        Alcotest.test_case "consumer error" `Quick test_pipeline_consumer_error;
+        Alcotest.test_case "sequential pool-size independent" `Slow
+          test_sequential_pool_size_independent;
+        QCheck_alcotest.to_alcotest qcheck_pipelined_weekly_identical;
+      ] );
+    ( "traffic.parallel-synthesis",
+      [
+        Alcotest.test_case "striped ids unique" `Quick test_striped_flow_ids_unique;
+        QCheck_alcotest.to_alcotest qcheck_synthesis_deterministic;
+      ] );
+  ]
