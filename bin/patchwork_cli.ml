@@ -7,6 +7,7 @@
      dissect   dissect a pcap/pcapng file and print abstract captures
      generate  synthesize a pcap of FABRIC-style traffic
      analyze   run the offline pipeline over a capture and emit CSVs
+     query     scan a flow store written by weekly --flow-store
      report    render the per-occasion span tree + drop/loss attribution
      release   anonymize + truncate a capture for public release
      capacity  query the capture-path capacity models
@@ -370,8 +371,25 @@ let weekly_cmd =
     in
     Arg.(value & opt int 1 & info [ "pipeline-depth" ] ~docv:"N" ~doc)
   in
+  let flow_store =
+    let doc =
+      "Stream every occasion's flow records to sorted binary segment files \
+       under $(docv) as the occasions complete, spilling to disk whenever \
+       the in-memory buffer exceeds $(b,--spill-threshold) records.  Query \
+       the store afterwards with the $(b,query) subcommand."
+    in
+    Arg.(value & opt (some string) None & info [ "flow-store" ] ~docv:"DIR" ~doc)
+  in
+  let spill_threshold =
+    let doc =
+      "With $(b,--flow-store): flow records to buffer in memory before \
+       spilling a segment file (bounds peak heap for long runs)."
+    in
+    Arg.(value & opt int 200_000 & info [ "spill-threshold" ] ~docv:"N" ~doc)
+  in
   let run seed weeks start_day hours out domains metrics_out metrics_format
-      serve_metrics hold alert_rules pipeline pipeline_depth =
+      serve_metrics hold alert_rules pipeline pipeline_depth flow_store
+      spill_threshold =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
@@ -399,7 +417,14 @@ let weekly_cmd =
         Some l
     in
     (with_domains domains @@ fun pool ->
-    let builder = Analysis.Profile.Builder.create () in
+    let builder = Analysis.Profile.Builder.create ~log:service_log () in
+    let store =
+      Option.map
+        (fun dir ->
+          Analysis.Flow_store.Writer.create ~spill_records:spill_threshold
+            ~dir ())
+        flow_store
+    in
     (* One simulated week: fresh engine/fabric/driver, one occasion.
        Independent across weeks, which is what lets the pipelined mode
        run week w+1 while week w is still being absorbed. *)
@@ -448,7 +473,8 @@ let weekly_cmd =
         Patchwork.Pipeline.run ~depth:pipeline_depth ~n:weeks
           ~produce:(fun w -> run_week ~pool:sim_pool w)
           ~consume:(fun _ report ->
-            Analysis.Profile.Builder.add_report ~pool builder report)
+            Analysis.Profile.Builder.add_report ~pool ?flow_store:store builder
+              report)
           ()
       in
       Printf.printf
@@ -462,14 +488,23 @@ let weekly_cmd =
     else
       for w = 0 to weeks - 1 do
         let report = run_week ~pool w in
-        Analysis.Profile.Builder.add_report ~pool builder report
+        Analysis.Profile.Builder.add_report ~pool ?flow_store:store builder
+          report
       done;
     let profile = Analysis.Profile.Builder.finish builder in
     Format.printf "%a" Analysis.Profile.pp_summary profile;
     let csvs = Analysis.Profile.write_csv_files profile ~dir:out in
     let figs = Analysis.Figures.write_profile_figures profile ~dir:out in
     Printf.printf "wrote %d CSVs and %d figures under %s\n"
-      (List.length csvs) (List.length figs) out);
+      (List.length csvs) (List.length figs) out;
+    match (store, flow_store) with
+    | Some w, Some dir ->
+      let segs = Analysis.Flow_store.Writer.finish w in
+      Printf.printf "flow store: %d segments, %d bytes under %s\n"
+        (List.length segs)
+        (Analysis.Flow_store.Writer.spilled_bytes w)
+        dir
+    | _ -> ());
     write_metrics metrics_out metrics_format;
     match live with
     | None -> ()
@@ -489,7 +524,101 @@ let weekly_cmd =
     Term.(
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
       $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
-      $ alert_rules $ pipeline $ pipeline_depth)
+      $ alert_rules $ pipeline $ pipeline_depth $ flow_store $ spill_threshold)
+
+(* --- query --- *)
+
+let query_cmd =
+  let store_dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE_DIR")
+  in
+  let since =
+    let doc = "Keep flows last seen at or after $(docv) (simulated seconds)." in
+    Arg.(value & opt (some float) None & info [ "since" ] ~docv:"T" ~doc)
+  in
+  let until =
+    let doc = "Keep flows first seen at or before $(docv) (simulated seconds)." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let site =
+    let doc = "Keep only flows captured at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"SITE" ~doc)
+  in
+  let proto =
+    let doc = "Keep only flows of this transport (tcp, udp, icmp, ...)." in
+    Arg.(value & opt (some string) None & info [ "proto" ] ~docv:"PROTO" ~doc)
+  in
+  let top =
+    let doc =
+      "Report the $(docv) largest flows by bytes (0 returns every flow; \
+       with a positive $(docv) the scan never materializes the full flow \
+       table)."
+    in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let dist =
+    let doc = "Also print the log2 flow-size distribution." in
+    Arg.(value & flag & info [ "dist" ] ~doc)
+  in
+  let run store_dir since until site proto top dist metrics_out metrics_format =
+    (let segs = Analysis.Flow_store.segments_in_dir store_dir in
+     if segs = [] then
+       failwith
+         (store_dir
+        ^ ": no .pwfs segments (write some with weekly --flow-store DIR)");
+     let pred = Analysis.Flow_store.predicate ?since ?until ?site ?proto () in
+     match
+       if top > 0 then Analysis.Flow_store.query ~pred ~top segs
+       else Analysis.Flow_store.query ~pred segs
+     with
+     | exception Analysis.Flow_store.Corrupt msg -> failwith msg
+     | res ->
+       let st = res.Analysis.Flow_store.stats in
+       Printf.printf
+         "store: %d segments; scanned %d records (%d matched) in %.3fs (%.0f \
+          records/s)\n"
+         st.Analysis.Flow_store.segments_scanned
+         st.Analysis.Flow_store.records_scanned
+         st.Analysis.Flow_store.records_matched st.Analysis.Flow_store.wall_s
+         (if st.Analysis.Flow_store.wall_s > 0.0 then
+            float_of_int st.Analysis.Flow_store.records_scanned
+            /. st.Analysis.Flow_store.wall_s
+          else 0.0);
+       Printf.printf "flows: %d distinct, %.0f weighted frames, %.0f weighted \
+                      bytes\n"
+         st.Analysis.Flow_store.distinct_flows
+         st.Analysis.Flow_store.total_frames st.Analysis.Flow_store.total_bytes;
+       let shown = res.Analysis.Flow_store.flows in
+       if shown <> [] then begin
+         Printf.printf "top %d flows by bytes:\n" (List.length shown);
+         List.iter
+           (fun (f : Analysis.Flows.summary) ->
+             Printf.printf "  %-48s %14.0f B %10.0f frames  %7.0fs-%-7.0fs%s\n"
+               f.Analysis.Flows.flow_key f.Analysis.Flows.bytes
+               f.Analysis.Flows.frames f.Analysis.Flows.first_seen
+               f.Analysis.Flows.last_seen
+               (if f.Analysis.Flows.rst_seen then "  RST" else ""))
+           shown
+       end;
+       if dist then begin
+         Printf.printf "flow size distribution (log2 bytes):\n";
+         List.iter
+           (fun (k, c) -> Printf.printf "  [2^%-2d, 2^%-2d) %8d\n" k (k + 1) c)
+           (Netcore.Histogram.Log2.buckets res.Analysis.Flow_store.size_hist)
+       end);
+    write_metrics metrics_out metrics_format
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:
+        "Scan a flow store (segments written by weekly --flow-store) with \
+         time/site/proto predicates, top-k and size distributions — without \
+         rehydrating whole occasions"
+  in
+  Cmd.v info
+    Term.(
+      const run $ store_dir $ since $ until $ site $ proto $ top $ dist
+      $ metrics_out_arg $ metrics_format_arg)
 
 (* --- release --- *)
 
@@ -750,4 +879,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ profile_cmd; weekly_cmd; dissect_cmd; generate_cmd; analyze_cmd;
-            report_cmd; release_cmd; capacity_cmd ]))
+            query_cmd; report_cmd; release_cmd; capacity_cmd ]))

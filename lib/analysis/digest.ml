@@ -100,16 +100,19 @@ let write_acap_file path records =
         records)
 
 let read_acap_file path =
-  let ic = open_in path in
+  (* Binary mode: acap lines are written byte-for-byte, and text-mode
+     CRLF translation on some platforms would corrupt the round-trip. *)
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      let rec go lineno acc =
         match input_line ic with
         | exception End_of_file -> List.rev acc
         | line -> (
           match Dissect.Acap.of_line line with
-          | Ok r -> go (r :: acc)
-          | Error msg -> failwith (path ^ ": " ^ msg))
+          | Ok r -> go (lineno + 1) (r :: acc)
+          | Error msg ->
+            failwith (Printf.sprintf "%s: line %d: %s" path lineno msg))
       in
-      go [])
+      go 1 [])

@@ -39,4 +39,5 @@ val write_acap_file : string -> Dissect.Acap.record list -> unit
 (** One record per line ({!Dissect.Acap.to_line}). *)
 
 val read_acap_file : string -> Dissect.Acap.record list
-(** Raises [Failure] on malformed lines. *)
+(** Reads in binary mode.  Raises [Failure] on malformed lines; the
+    message names the file and the 1-based line number. *)

@@ -1,0 +1,665 @@
+(* On-disk flow store: sorted binary segments + k-way-merge query.
+
+   One record = the exact weighted contribution of one flow within one
+   capture-sample group, tagged with the group's global sequence number.
+   Keeping contributions per group (instead of pre-merging) is what lets
+   the query engine replay the same float additions, in the same order,
+   as the in-memory [Flows.merge] — so spilling is invisible to results,
+   bit for bit, whatever the spill threshold or sampling fractions. *)
+
+type record = {
+  r_key : string;
+  r_site : string;
+  r_seq : int;
+  r_frames : float;
+  r_bytes : float;
+  r_first : float;
+  r_last : float;
+  r_rst : bool;
+}
+
+exception Corrupt of string
+
+let corrupt path fmt =
+  Printf.ksprintf (fun msg -> raise (Corrupt (path ^ ": " ^ msg))) fmt
+
+(* Records sort by (key, seq); seqs are unique per group, so the order
+   is total and strictly increasing within a segment. *)
+let compare_record a b =
+  match compare a.r_key b.r_key with 0 -> compare a.r_seq b.r_seq | c -> c
+
+let proto_of_key key =
+  match List.nth_opt (String.split_on_char '|' key) 4 with
+  | Some p -> p
+  | None -> "other"
+
+(* --- observability ------------------------------------------------- *)
+
+let obs_segments_written =
+  Obs.Registry.counter Obs.Registry.default "flowstore_segments_written_total"
+    ~help:"Flow-store segment files written (spills + final flushes)"
+
+let obs_spill_bytes =
+  Obs.Registry.counter Obs.Registry.default "flowstore_spill_bytes_total"
+    ~help:"Bytes of flow records spilled to segment files"
+
+let obs_records_written =
+  Obs.Registry.counter Obs.Registry.default "flowstore_records_written_total"
+    ~help:"Flow records written to segment files"
+
+let obs_segments_merged =
+  Obs.Registry.counter Obs.Registry.default "flowstore_segments_merged_total"
+    ~help:"Segment files consumed by compactions"
+
+let obs_queries =
+  Obs.Registry.counter Obs.Registry.default "flowstore_queries_total"
+    ~help:"Queries answered over stored segments"
+
+let obs_records_scanned =
+  Obs.Registry.counter Obs.Registry.default "flowstore_records_scanned_total"
+    ~help:"Flow records read from segments by queries"
+
+let obs_scan_rate =
+  Obs.Registry.histogram Obs.Registry.default "flowstore_query_scan_records_per_s"
+    ~help:"Per-query segment scan rate, records per second"
+
+let obs_unweighted =
+  Obs.Registry.counter Obs.Registry.default "analysis_unweighted_samples_total"
+    ~help:
+      "Sample groups whose materialized_fraction was <= 0 and were \
+       aggregated at weight 1.0"
+    ~labels:[ ("stage", "flow_store") ]
+
+(* --- segment format ------------------------------------------------ *)
+
+(* Header: "PWFS" magic, u16 version, u32 record count.  Record:
+   u16 key_len, key, u16 site_len, site, u32 seq, 4 x f64
+   (frames/bytes/first/last), u8 flags (bit 0 = RST).  Everything
+   little-endian. *)
+
+let magic = "PWFS"
+let version = 1
+let header_len = 10
+
+module Segment = struct
+  let add_record buf (r : record) =
+    let add_str s =
+      if String.length s > 0xFFFF then
+        invalid_arg "Flow_store: key/site longer than 65535 bytes";
+      Buffer.add_uint16_le buf (String.length s);
+      Buffer.add_string buf s
+    in
+    add_str r.r_key;
+    add_str r.r_site;
+    Buffer.add_int32_le buf (Int32.of_int r.r_seq);
+    Buffer.add_int64_le buf (Int64.bits_of_float r.r_frames);
+    Buffer.add_int64_le buf (Int64.bits_of_float r.r_bytes);
+    Buffer.add_int64_le buf (Int64.bits_of_float r.r_first);
+    Buffer.add_int64_le buf (Int64.bits_of_float r.r_last);
+    Buffer.add_uint8 buf (if r.r_rst then 1 else 0)
+
+  let write path records =
+    let records = List.sort compare_record records in
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf magic;
+    Buffer.add_uint16_le buf version;
+    Buffer.add_int32_le buf (Int32.of_int (List.length records));
+    List.iter (add_record buf) records;
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc buf);
+    Buffer.length buf
+
+  type reader = {
+    path : string;
+    ic : in_channel;
+    count : int;
+    mutable read : int;
+    mutable prev : (string * int) option;  (* sortedness check *)
+    mutable closed : bool;
+  }
+
+  let read_exact r n what =
+    let b = Bytes.create n in
+    (try really_input r.ic b 0 n
+     with End_of_file ->
+       corrupt r.path "truncated segment: %s cut short at record %d/%d" what
+         (r.read + 1) r.count);
+    b
+
+  let open_reader path =
+    let ic =
+      try open_in_bin path
+      with Sys_error msg -> raise (Corrupt (path ^ ": " ^ msg))
+    in
+    let header = Bytes.create header_len in
+    (try really_input ic header 0 header_len
+     with End_of_file ->
+       let len = in_channel_length ic in
+       close_in_noerr ic;
+       corrupt path "truncated segment: %d-byte file is shorter than the header"
+         len);
+    let ok =
+      try
+        if Bytes.sub_string header 0 4 <> magic then
+          corrupt path "bad magic (not a Patchwork flow segment)";
+        let v = Bytes.get_uint16_le header 4 in
+        if v <> version then corrupt path "unsupported segment version %d" v;
+        Int32.to_int (Bytes.get_int32_le header 6)
+      with e ->
+        close_in_noerr ic;
+        raise e
+    in
+    if ok < 0 then begin
+      close_in_noerr ic;
+      corrupt path "negative record count"
+    end;
+    { path; ic; count = ok; read = 0; prev = None; closed = false }
+
+  let record_count r = r.count
+  let close r =
+    if not r.closed then begin
+      r.closed <- true;
+      close_in_noerr r.ic
+    end
+
+  let next r =
+    if r.closed then None
+    else if r.read >= r.count then begin
+      (match input_char r.ic with
+      | _ -> corrupt r.path "trailing garbage after %d records" r.count
+      | exception End_of_file -> ());
+      close r;
+      None
+    end
+    else begin
+      let str what =
+        let len = Bytes.get_uint16_le (read_exact r 2 (what ^ " length")) 0 in
+        Bytes.to_string (read_exact r len what)
+      in
+      let key = str "flow key" in
+      let site = str "site" in
+      let fixed = read_exact r 37 "record body" in
+      let f64 off = Int64.float_of_bits (Bytes.get_int64_le fixed off) in
+      let seq = Int32.to_int (Bytes.get_int32_le fixed 0) in
+      let flags = Bytes.get_uint8 fixed 36 in
+      if flags land lnot 1 <> 0 then
+        corrupt r.path "invalid flags byte 0x%02x at record %d" flags (r.read + 1);
+      let rec_ =
+        {
+          r_key = key;
+          r_site = site;
+          r_seq = seq;
+          r_frames = f64 4;
+          r_bytes = f64 12;
+          r_first = f64 20;
+          r_last = f64 28;
+          r_rst = flags land 1 <> 0;
+        }
+      in
+      (match r.prev with
+      | Some (pk, ps)
+        when compare_record
+               { rec_ with r_key = pk; r_seq = ps }
+               rec_
+             >= 0 ->
+        corrupt r.path "segment not sorted at record %d (%s/%d after %s/%d)"
+          (r.read + 1) key seq pk ps
+      | _ -> ());
+      r.prev <- Some (key, seq);
+      r.read <- r.read + 1;
+      Some rec_
+    end
+
+  let read_all path =
+    match
+      let r = open_reader path in
+      Fun.protect
+        ~finally:(fun () -> close r)
+        (fun () ->
+          let rec go acc =
+            match next r with None -> List.rev acc | Some x -> go (x :: acc)
+          in
+          go [])
+    with
+    | records -> Ok records
+    | exception Corrupt msg -> Error msg
+end
+
+(* --- spill writer -------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+module Writer = struct
+  type t = {
+    dir : string;
+    prefix : string;
+    spill_records : int;
+    mutable buf : record list;  (* reversed arrival order; spill sorts *)
+    mutable buffered : int;
+    mutable next_seq : int;
+    mutable seg_index : int;
+    mutable paths : string list;  (* reversed *)
+    mutable bytes : int;
+    mutable finished : bool;
+  }
+
+  let create ?(spill_records = 200_000) ~dir ?(prefix = "flows") () =
+    if spill_records < 1 then
+      invalid_arg "Flow_store.Writer.create: spill_records < 1";
+    mkdir_p dir;
+    {
+      dir;
+      prefix;
+      spill_records;
+      buf = [];
+      buffered = 0;
+      next_seq = 0;
+      seg_index = 0;
+      paths = [];
+      bytes = 0;
+      finished = false;
+    }
+
+  let check_live t what =
+    if t.finished then invalid_arg ("Flow_store.Writer." ^ what ^ ": finished")
+
+  let spill t =
+    if t.buffered > 0 then begin
+      Obs.Span.timed ~stage:"flowstore.spill" @@ fun () ->
+      let path =
+        Filename.concat t.dir (Printf.sprintf "%s-%06d.pwfs" t.prefix t.seg_index)
+      in
+      let size = Segment.write path t.buf in
+      if Obs.Registry.enabled () then begin
+        Obs.Registry.incr obs_segments_written;
+        Obs.Registry.inc obs_spill_bytes (float_of_int size);
+        Obs.Registry.inc obs_records_written (float_of_int t.buffered)
+      end;
+      t.seg_index <- t.seg_index + 1;
+      t.paths <- path :: t.paths;
+      t.bytes <- t.bytes + size;
+      t.buf <- [];
+      t.buffered <- 0
+    end
+
+  (* Spills happen at group boundaries only, so a group's records never
+     straddle segments and segment seq ranges never overlap. *)
+  let maybe_spill t = if t.buffered >= t.spill_records then spill t
+
+  let add_shard t ~site ~fraction shard =
+    check_live t "add_shard";
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    (* Weighting must match Flows.merge_shards operation for operation:
+       the stored contribution is the very float the in-memory merge
+       would add, including the exact-integer path for weight 1.0. *)
+    if fraction <= 0.0 then begin
+      let non_empty =
+        Flows.Shard.fold shard ~init:false
+          ~f:(fun _ ~key:_ ~frames:_ ~bytes:_ ~first:_ ~last:_ ~rst:_ -> true)
+      in
+      if non_empty then Obs.Registry.incr obs_unweighted
+    end;
+    let weight = if fraction > 0.0 then 1.0 /. fraction else 1.0 in
+    let exact = weight = 1.0 in
+    let n = ref 0 in
+    t.buf <-
+      Flows.Shard.fold shard ~init:t.buf
+        ~f:(fun acc ~key ~frames ~bytes ~first ~last ~rst ->
+          incr n;
+          {
+            r_key = key;
+            r_site = site;
+            r_seq = seq;
+            r_frames =
+              (if exact then float_of_int frames
+               else float_of_int frames *. weight);
+            r_bytes =
+              (if exact then float_of_int bytes else float_of_int bytes *. weight);
+            r_first = first;
+            r_last = last;
+            r_rst = rst;
+          }
+          :: acc);
+    t.buffered <- t.buffered + !n;
+    maybe_spill t
+
+  let add_records t records =
+    check_live t "add_records";
+    List.iter
+      (fun r ->
+        if r.r_seq >= t.next_seq then t.next_seq <- r.r_seq + 1;
+        t.buf <- r :: t.buf;
+        t.buffered <- t.buffered + 1)
+      records;
+    maybe_spill t
+
+  let finish t =
+    check_live t "finish";
+    spill t;
+    t.finished <- true;
+    List.rev t.paths
+
+  let segments_written t = t.seg_index
+  let spilled_bytes t = t.bytes
+end
+
+let segments_in_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pwfs")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+(* --- k-way merge --------------------------------------------------- *)
+
+(* A tiny binary min-heap over open readers, ordered by each reader's
+   current head record.  One record of look-ahead per segment is the
+   whole in-flight state of a scan. *)
+module Heap = struct
+  type entry = { mutable head : record; reader : Segment.reader }
+  type t = { a : entry array; mutable n : int }
+
+  let lt x y = compare_record x.head y.head < 0
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < h.n && lt h.a.(l) h.a.(!m) then m := l;
+    if r < h.n && lt h.a.(r) h.a.(!m) then m := r;
+    if !m <> i then begin
+      let tmp = h.a.(i) in
+      h.a.(i) <- h.a.(!m);
+      h.a.(!m) <- tmp;
+      sift_down h !m
+    end
+
+  let of_list entries =
+    let a = Array.of_list entries in
+    let h = { a; n = Array.length a } in
+    for i = (h.n / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  (* Advance the minimum entry to its reader's next record (dropping the
+     entry when the segment is exhausted) and restore the heap. *)
+  let advance_min h =
+    match Segment.next h.a.(0).reader with
+    | Some r ->
+      h.a.(0).head <- r;
+      sift_down h 0
+    | None ->
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        sift_down h 0
+      end
+end
+
+(* Stream every record of [paths] in global (key, seq) order. *)
+let scan paths f =
+  let readers = List.map Segment.open_reader paths in
+  Fun.protect
+    ~finally:(fun () -> List.iter Segment.close readers)
+    (fun () ->
+      let heap =
+        Heap.of_list
+          (List.filter_map
+             (fun r ->
+               match Segment.next r with
+               | Some head -> Some { Heap.head; reader = r }
+               | None -> None)
+             readers)
+      in
+      let scanned = ref 0 in
+      let rec go () =
+        match Heap.peek heap with
+        | None -> !scanned
+        | Some e ->
+          incr scanned;
+          f e.Heap.head;
+          Heap.advance_min heap;
+          go ()
+      in
+      go ())
+
+(* --- compaction ---------------------------------------------------- *)
+
+(* Streaming segment writer used by compaction: the record count is
+   back-patched into the header once the merge is done, so compacting
+   never holds more than one key's records. *)
+let merge_segments ~out paths =
+  Obs.Span.timed ~stage:"flowstore.compact" @@ fun () ->
+  let oc = open_out_bin out in
+  let count = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let b = Buffer.create 64 in
+      Buffer.add_uint16_le b version;
+      Buffer.add_int32_le b 0l;
+      Buffer.output_buffer oc b;
+      (* Collapse equal (key, site) runs.  Records arrive in (key, seq)
+         order, so per key we fold contributions site by site in seq
+         order, emit the collapsed records (still sorted: each keeps its
+         site's first seq) and move on. *)
+      let current_key = ref None in
+      let sites : (string, record) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] in
+      let emit () =
+        let collapsed =
+          List.rev_map (fun site -> Hashtbl.find sites site) !order
+          |> List.sort compare_record
+        in
+        List.iter
+          (fun r ->
+            let buf = Buffer.create 128 in
+            Segment.add_record buf r;
+            Buffer.output_buffer oc buf;
+            incr count)
+          collapsed;
+        Hashtbl.reset sites;
+        order := []
+      in
+      let absorb (r : record) =
+        (match !current_key with
+        | Some k when k <> r.r_key ->
+          emit ();
+          current_key := Some r.r_key
+        | None -> current_key := Some r.r_key
+        | Some _ -> ());
+        match Hashtbl.find_opt sites r.r_site with
+        | None ->
+          Hashtbl.add sites r.r_site r;
+          order := r.r_site :: !order
+        | Some prev ->
+          Hashtbl.replace sites r.r_site
+            {
+              prev with
+              r_frames = prev.r_frames +. r.r_frames;
+              r_bytes = prev.r_bytes +. r.r_bytes;
+              r_first = Float.min prev.r_first r.r_first;
+              r_last = Float.max prev.r_last r.r_last;
+              r_rst = prev.r_rst || r.r_rst;
+            }
+      in
+      let _scanned = scan paths absorb in
+      if !current_key <> None then emit ();
+      if Obs.Registry.enabled () then
+        Obs.Registry.inc obs_segments_merged
+          (float_of_int (List.length paths));
+      (* Back-patch the record count. *)
+      seek_out oc 6;
+      let b = Buffer.create 4 in
+      Buffer.add_int32_le b (Int32.of_int !count);
+      Buffer.output_buffer oc b);
+  out
+
+(* --- query engine -------------------------------------------------- *)
+
+type predicate = {
+  q_since : float option;
+  q_until : float option;
+  q_site : string option;
+  q_proto : string option;
+}
+
+let no_predicate = { q_since = None; q_until = None; q_site = None; q_proto = None }
+
+let predicate ?since ?until ?site ?proto () =
+  { q_since = since; q_until = until; q_site = site; q_proto = proto }
+
+let matches p (r : record) =
+  (match p.q_site with None -> true | Some s -> String.equal s r.r_site)
+  && (match p.q_since with None -> true | Some t -> r.r_last >= t)
+  && (match p.q_until with None -> true | Some t -> r.r_first <= t)
+  && match p.q_proto with
+     | None -> true
+     | Some proto -> String.equal proto (proto_of_key r.r_key)
+
+type query_stats = {
+  segments_scanned : int;
+  records_scanned : int;
+  records_matched : int;
+  distinct_flows : int;
+  total_frames : float;
+  total_bytes : float;
+  wall_s : float;
+}
+
+type query_result = {
+  flows : Flows.summary list;
+  size_hist : Netcore.Histogram.Log2.t;
+  stats : query_stats;
+}
+
+(* Per-key accumulator replaying exactly the operations of
+   Flows.merge_shards (init from the first contribution, then
+   add/min/max/or per contribution in seq order). *)
+type acc = {
+  a_key : string;
+  mutable a_frames : float;
+  mutable a_bytes : float;
+  mutable a_first : float;
+  mutable a_last : float;
+  mutable a_rst : bool;
+}
+
+(* Bounded top-k selection: an insertion-sorted list of at most [k]
+   summaries under the canonical comparator. *)
+let insert_topk k s l =
+  let rec ins = function
+    | [] -> [ s ]
+    | y :: tl ->
+      if Flows.compare_by_bytes s y < 0 then s :: y :: tl else y :: ins tl
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | y :: tl -> y :: take (n - 1) tl
+  in
+  take k (ins l)
+
+let query ?(pred = no_predicate) ?top paths =
+  Obs.Span.timed ~stage:"flowstore.query" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let matched = ref 0 in
+  let distinct = ref 0 in
+  let total_frames = ref 0.0 in
+  let total_bytes = ref 0.0 in
+  let hist = Netcore.Histogram.Log2.create () in
+  let all = ref [] in
+  let best = ref [] in
+  let cur = ref None in
+  let finalize () =
+    match !cur with
+    | None -> ()
+    | Some a ->
+      cur := None;
+      let s =
+        {
+          Flows.flow_key = a.a_key;
+          frames = a.a_frames;
+          bytes = a.a_bytes;
+          first_seen = a.a_first;
+          last_seen = a.a_last;
+          rst_seen = a.a_rst;
+        }
+      in
+      incr distinct;
+      total_frames := !total_frames +. s.Flows.frames;
+      total_bytes := !total_bytes +. s.Flows.bytes;
+      Netcore.Histogram.Log2.add hist (Float.max 1.0 s.Flows.bytes);
+      (match top with
+      | None -> all := s :: !all
+      | Some k -> best := insert_topk k s !best)
+  in
+  let on_record (r : record) =
+    (match !cur with
+    | Some a when not (String.equal a.a_key r.r_key) -> finalize ()
+    | _ -> ());
+    if matches pred r then begin
+      incr matched;
+      let a =
+        match !cur with
+        | Some a -> a
+        | None ->
+          let a =
+            {
+              a_key = r.r_key;
+              a_frames = 0.0;
+              a_bytes = 0.0;
+              a_first = r.r_first;
+              a_last = r.r_last;
+              a_rst = false;
+            }
+          in
+          cur := Some a;
+          a
+      in
+      a.a_frames <- a.a_frames +. r.r_frames;
+      a.a_bytes <- a.a_bytes +. r.r_bytes;
+      a.a_first <- Float.min a.a_first r.r_first;
+      a.a_last <- Float.max a.a_last r.r_last;
+      a.a_rst <- a.a_rst || r.r_rst
+    end
+  in
+  let scanned = scan paths on_record in
+  finalize ();
+  let wall = Unix.gettimeofday () -. t0 in
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.incr obs_queries;
+    Obs.Registry.inc obs_records_scanned (float_of_int scanned);
+    if wall > 0.0 then
+      Obs.Registry.observe obs_scan_rate (float_of_int scanned /. wall)
+  end;
+  let flows =
+    match top with
+    | None -> List.sort Flows.compare_by_bytes !all
+    | Some _ -> !best
+  in
+  {
+    flows;
+    size_hist = hist;
+    stats =
+      {
+        segments_scanned = List.length paths;
+        records_scanned = scanned;
+        records_matched = !matched;
+        distinct_flows = !distinct;
+        total_frames = !total_frames;
+        total_bytes = !total_bytes;
+        wall_s = wall;
+      };
+  }

@@ -1,0 +1,153 @@
+(** Spillable on-disk flow-record store with an occasion query engine.
+
+    Profiles and flow tables otherwise live wholly in one heap, capping
+    a run at what memory holds.  This store writes flow records in a
+    compact binary, NetFlow/IPFIX-flavoured format — one weighted record
+    per (flow, capture-sample group) — as sorted, mergeable {e segment}
+    files, and answers time/site/proto predicates, top-k and size
+    distributions by a bounded-memory k-way merge over the segments,
+    never rehydrating whole occasions.
+
+    {2 Determinism contract}
+
+    A record stores the {e exact} weighted contribution its sample group
+    would feed [Flows.merge] (the same float products, including the
+    exact-integer fast path for unit fractions), tagged with a global
+    group sequence number.  Segments keep records sorted by
+    [(flow key, seq)] and the query engine replays contributions per key
+    in ascending [seq] order — the same additions, in the same order, as
+    the in-memory merge.  A query over spilled segments therefore
+    returns {e byte-identical} summaries (same order, same weighted
+    totals) to [Flows.aggregate] over the same groups, for any spill
+    threshold and any fractions. *)
+
+type record = {
+  r_key : string;  (** flow key, as [Dissect.Acap.flow_key] renders it *)
+  r_site : string;  (** capture site of the contributing sample *)
+  r_seq : int;  (** global sample-group sequence (replay order) *)
+  r_frames : float;  (** weighted frames contributed by this group *)
+  r_bytes : float;  (** weighted bytes contributed by this group *)
+  r_first : float;
+  r_last : float;
+  r_rst : bool;
+}
+
+exception Corrupt of string
+(** Raised when a segment file fails validation (bad magic, unsupported
+    version, truncation, trailing garbage, unsorted records); the
+    message names the file and the failing offset/record. *)
+
+val proto_of_key : string -> string
+(** The transport token ([tcp]/[udp]/[icmp]/…) embedded in a flow key. *)
+
+module Segment : sig
+  (** One segment file: a fixed header (magic, version, record count)
+      followed by length-prefixed records sorted by [(r_key, r_seq)]. *)
+
+  val write : string -> record list -> int
+  (** [write path records] sorts the records and writes one segment;
+      returns the file size in bytes. *)
+
+  type reader
+  (** A streaming cursor over one segment; holds one record of state. *)
+
+  val open_reader : string -> reader
+  (** Validates the header.  @raise Corrupt on a malformed file. *)
+
+  val next : reader -> record option
+  (** The next record in [(r_key, r_seq)] order, [None] at the end.
+      @raise Corrupt on truncation, trailing bytes or unsorted data. *)
+
+  val close : reader -> unit
+  val record_count : reader -> int
+
+  val read_all : string -> (record list, string) result
+  (** Whole-segment convenience read (tests, small segments). *)
+end
+
+module Writer : sig
+  (** Accumulates weighted per-group records in memory and spills a
+      sorted segment whenever the buffer exceeds the spill threshold, so
+      peak heap stays bounded by the threshold however long the run. *)
+
+  type t
+
+  val create : ?spill_records:int -> dir:string -> ?prefix:string -> unit -> t
+  (** Segments are written to [dir] (created if missing) as
+      [<prefix>-NNNNNN.pwfs], default prefix ["flows"].  [spill_records]
+      (default [200_000]) bounds the number of buffered records; the
+      buffer is flushed at group boundaries, never mid-group. *)
+
+  val add_shard : t -> site:string -> fraction:float -> Flows.Shard.t -> unit
+  (** Append one capture sample's shard as the next group: each flow in
+      the shard becomes one record carrying the exact weighted
+      contribution [Flows.merge] would apply for [fraction].  A
+      non-empty shard with [fraction <= 0.0] is stored at weight 1.0 and
+      counted via [analysis_unweighted_samples_total{stage="flow_store"}]. *)
+
+  val add_records : t -> record list -> unit
+  (** Append pre-weighted records (they keep their own [r_seq]); used by
+      segment compaction. *)
+
+  val finish : t -> string list
+  (** Flush the remaining buffer and return every segment path written,
+      in write order.  The writer must not be used afterwards. *)
+
+  val segments_written : t -> int
+  val spilled_bytes : t -> int
+end
+
+val segments_in_dir : string -> string list
+(** The [*.pwfs] files under a directory, sorted by name (write order,
+    since segment names are zero-padded). *)
+
+val merge_segments : out:string -> string list -> string
+(** Compact several segments into one: records with equal
+    [(r_key, r_site)] collapse into a single record (sums in [r_seq]
+    order, min/max timestamps, or-ed RST, smallest [r_seq] kept).
+    Exact on the integer-weight path; for fractional weights compaction
+    may reassociate float additions, so compact either everything or
+    nothing when bit-stable totals across compactions matter.  Returns
+    [out]. *)
+
+type predicate = {
+  q_since : float option;  (** keep flows with [r_last >= since] *)
+  q_until : float option;  (** keep flows with [r_first <= until] *)
+  q_site : string option;  (** exact site match *)
+  q_proto : string option;  (** transport token match, e.g. ["tcp"] *)
+}
+
+val no_predicate : predicate
+
+val predicate :
+  ?since:float -> ?until:float -> ?site:string -> ?proto:string -> unit ->
+  predicate
+
+type query_stats = {
+  segments_scanned : int;
+  records_scanned : int;  (** records read from disk *)
+  records_matched : int;  (** records surviving the predicate *)
+  distinct_flows : int;  (** flows after merging matched records *)
+  total_frames : float;  (** weighted, over matched flows *)
+  total_bytes : float;
+  wall_s : float;
+}
+
+type query_result = {
+  flows : Flows.summary list;
+      (** sorted by {!Flows.compare_by_bytes}; all matched flows, or the
+          best [top] when one was given *)
+  size_hist : Netcore.Histogram.Log2.t;
+      (** log2 size distribution over {e every} matched flow, even under
+          [top] *)
+  stats : query_stats;
+}
+
+val query : ?pred:predicate -> ?top:int -> string list -> query_result
+(** Scan segment files with a k-way merge.  Memory is bounded by one
+    in-flight record per segment plus the result: with [top] given, the
+    result is a [top]-element selection, so a top-k query over a
+    year-long store never materializes the full flow table.  Without
+    [top] and without a predicate, [flows] is byte-identical to
+    [Flows.aggregate] over the groups the store was written from.
+    @raise Corrupt on a malformed segment. *)

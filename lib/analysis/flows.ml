@@ -26,6 +26,16 @@ type acc = {
   mutable a_rst : bool;
 }
 
+(* Canonical result ordering: bytes descending, flow key ascending.
+   Every producer of summary lists (shard merges, the profile builder,
+   the flow-store query engine) sorts with this one comparator, so
+   byte-tied flows order identically everywhere regardless of hash-table
+   iteration order. *)
+let compare_by_bytes a b =
+  match compare b.bytes a.bytes with
+  | 0 -> compare a.flow_key b.flow_key
+  | c -> c
+
 module Shard = struct
   type t = (string, shard) Hashtbl.t
 
@@ -56,6 +66,13 @@ module Shard = struct
       entry.s_first <- Float.min entry.s_first r.Dissect.Acap.ts;
       entry.s_last <- Float.max entry.s_last r.Dissect.Acap.ts;
       entry.s_rst <- entry.s_rst || r.Dissect.Acap.tcp_rst
+
+  let fold (table : t) ~init ~f =
+    Hashtbl.fold
+      (fun key (s : shard) acc ->
+        f acc ~key ~frames:s.s_frames ~bytes:s.s_bytes ~first:s.s_first
+          ~last:s.s_last ~rst:s.s_rst)
+      table init
 end
 
 let shard_group (records, fraction) =
@@ -75,15 +92,41 @@ let obs_flow_bytes =
   Obs.Registry.counter Obs.Registry.default "flow_bytes_total"
     ~help:"Weighted bytes aggregated into flow summaries"
 
+let obs_unweighted =
+  Obs.Registry.counter Obs.Registry.default "analysis_unweighted_samples_total"
+    ~help:
+      "Sample groups whose materialized_fraction was <= 0 and were \
+       aggregated at weight 1.0"
+    ~labels:[ ("stage", "flows") ]
+
+(* A fraction <= 0 means the capture materialized nothing it could
+   attribute a thinning rate to; treating it as weight 1.0 is the only
+   safe default, but doing so silently hides thinned-to-nothing samples.
+   Count every such group and, when the caller runs with a service log,
+   say so out loud. *)
+let warn_unweighted ?log fraction =
+  Obs.Registry.incr obs_unweighted;
+  match log with
+  | None -> ()
+  | Some l ->
+    Patchwork.Logging.log l ~time:0.0 ~level:Patchwork.Logging.Warning
+      ~component:"analysis/flows"
+      (Printf.sprintf
+         "sample group has materialized_fraction %g <= 0; aggregating \
+          unweighted (weight 1.0)"
+         fraction)
+
 (* Merge shard tables in list order.  Per-key sums are exact integers
    until weighting, min/max/or are order-independent, and the final sort
    breaks byte ties on the flow key, so the result depends only on the
    multiset of records per weight — never on how they were sharded. *)
-let merge_shards shards =
+let merge_shards ?log shards =
   Obs.Span.timed ~stage:"flows.merge" @@ fun () ->
   let table : (string, acc) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
     (fun ((shard : Shard.t), fraction) ->
+      if fraction <= 0.0 && Hashtbl.length shard > 0 then
+        warn_unweighted ?log fraction;
       let weight = if fraction > 0.0 then 1.0 /. fraction else 1.0 in
       let exact = weight = 1.0 in
       Hashtbl.iter
@@ -132,10 +175,7 @@ let merge_shards shards =
         }
         :: acc)
       table []
-    |> List.sort (fun a b ->
-           match compare b.bytes a.bytes with
-           | 0 -> compare a.flow_key b.flow_key
-           | c -> c)
+    |> List.sort compare_by_bytes
   in
   (* One batch of counter bumps per merge, never per record. *)
   if Obs.Registry.enabled () then begin
@@ -155,16 +195,16 @@ let merge = merge_shards
 (* Sharding is per group (one capture sample = one shard task) and the
    merge is shard-order-insensitive, so the result is identical whatever
    the pool size — including the sequential fallback. *)
-let aggregate_weighted ?(pool = Parallel.Pool.sequential) groups =
-  merge_shards (Parallel.Pool.map pool shard_group groups)
+let aggregate_weighted ?(pool = Parallel.Pool.sequential) ?log groups =
+  merge_shards ?log (Parallel.Pool.map pool shard_group groups)
 
-let aggregate ?pool ?weights records =
+let aggregate ?pool ?log ?weights records =
   match weights with
-  | Some groups -> aggregate_weighted ?pool groups
-  | None -> aggregate_weighted ?pool [ (records, 1.0) ]
+  | Some groups -> aggregate_weighted ?pool ?log groups
+  | None -> aggregate_weighted ?pool ?log [ (records, 1.0) ]
 
-let of_samples ?pool samples =
-  aggregate_weighted ?pool
+let of_samples ?pool ?log samples =
+  aggregate_weighted ?pool ?log
     (List.map
        (fun (s : Patchwork.Capture.sample) ->
          (s.Patchwork.Capture.acaps, s.Patchwork.Capture.materialized_fraction))
@@ -175,4 +215,12 @@ let size_log_histogram summaries =
   List.iter (fun s -> Netcore.Histogram.Log2.add h (Float.max 1.0 s.bytes)) summaries;
   h
 
-let top_n summaries n = List.filteri (fun i _ -> i < n) summaries
+(* The summaries are already sorted largest-first, so taking the top n
+   must stop after n elements — the query engine calls this over merged
+   result sets holding every flow of a year-long run. *)
+let top_n summaries n =
+  let rec take acc k = function
+    | x :: tl when k < n -> take (x :: acc) (k + 1) tl
+    | _ -> List.rev acc
+  in
+  take [] 0 summaries

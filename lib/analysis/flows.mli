@@ -22,6 +22,12 @@ type summary = {
   rst_seen : bool;
 }
 
+val compare_by_bytes : summary -> summary -> int
+(** The canonical result ordering: bytes descending, then flow key
+    ascending.  Shared by the shard merge, the profile builder and the
+    flow-store query engine so that byte-tied flows order identically
+    everywhere, independent of hash-table iteration order. *)
+
 module Shard : sig
   type t
   (** A mutable per-chunk accumulator of exact integer per-flow sums.
@@ -33,17 +39,41 @@ module Shard : sig
 
   val add : t -> Dissect.Acap.record -> unit
   (** Fold one record in (records without a flow key are ignored). *)
+
+  val fold :
+    t ->
+    init:'a ->
+    f:
+      ('a ->
+      key:string ->
+      frames:int ->
+      bytes:int ->
+      first:float ->
+      last:float ->
+      rst:bool ->
+      'a) ->
+    'a
+  (** Fold over the per-flow integer sums in unspecified (hash) order;
+      callers that need a canonical order sort afterwards, as the
+      flow-store segment writer does. *)
 end
 
-val merge : (Shard.t * float) list -> summary list
+val merge : ?log:Patchwork.Logging.t -> (Shard.t * float) list -> summary list
 (** Merge shards (each with its sample's materialized fraction) into
     summaries.  For unit fractions the merge is exact-integer and
     shard-order-insensitive, and the final ordering breaks byte ties on
     the flow key, so the output depends only on the records fed in —
-    never on how they were sharded. *)
+    never on how they were sharded.
+
+    A non-empty shard whose fraction is [<= 0.0] is aggregated at weight
+    1.0; each such group bumps
+    [analysis_unweighted_samples_total{stage="flows"}] and logs a
+    warning to [log] when one is given, so thinned-to-nothing samples
+    are visible rather than silently unweighted. *)
 
 val aggregate :
   ?pool:Parallel.Pool.t ->
+  ?log:Patchwork.Logging.t ->
   ?weights:(Dissect.Acap.record list * float) list ->
   Dissect.Acap.record list ->
   summary list
@@ -53,11 +83,15 @@ val aggregate :
     thinned capture under-counts both). *)
 
 val of_samples :
-  ?pool:Parallel.Pool.t -> Patchwork.Capture.sample list -> summary list
+  ?pool:Parallel.Pool.t ->
+  ?log:Patchwork.Logging.t ->
+  Patchwork.Capture.sample list ->
+  summary list
 (** Aggregate across samples with per-sample re-weighting. *)
 
 val size_log_histogram : summary list -> Netcore.Histogram.Log2.t
 (** Flow sizes in bytes, log2-binned. *)
 
 val top_n : summary list -> int -> summary list
-(** Largest flows by bytes. *)
+(** First [n] summaries (the largest flows, since summary lists are
+    sorted by {!compare_by_bytes}); stops walking after [n] elements. *)

@@ -40,11 +40,19 @@ module Builder = struct
     flow_table : (string, flow_acc) Hashtbl.t;
     mutable ipv6_weight : float;
     mutable jumbo_weight : float;
+    log : Patchwork.Logging.t option;
   }
 
   type t = b
 
-  let create () =
+  let obs_unweighted =
+    Obs.Registry.counter Obs.Registry.default "analysis_unweighted_samples_total"
+      ~help:
+        "Sample groups whose materialized_fraction was <= 0 and were \
+         aggregated at weight 1.0"
+      ~labels:[ ("stage", "profile") ]
+
+  let create ?log () =
     {
       occasions = 0;
       samples = 0;
@@ -57,6 +65,7 @@ module Builder = struct
       flow_table = Hashtbl.create 4096;
       ipv6_weight = 0.0;
       jumbo_weight = 0.0;
+      log;
     }
 
   let site_acc b site =
@@ -76,7 +85,6 @@ module Builder = struct
 
   let absorb_record b site_acc weight (r : Dissect.Acap.record) =
     b.frames <- b.frames + 1;
-    let int_weight = max 1 (int_of_float (Float.round weight)) in
     (* Per-site header diversity. *)
     site_acc.site_frames <- site_acc.site_frames + 1;
     let depth = List.length r.Dissect.Acap.stack in
@@ -89,10 +97,13 @@ module Builder = struct
         Hashtbl.replace b.occurrence tok
           (weight +. Option.value ~default:0.0 (Hashtbl.find_opt b.occurrence tok)))
       r.Dissect.Acap.stack;
-    (* Weighted sizes. *)
+    (* Weighted sizes.  Histograms take the exact float weight — the
+       same 1/fraction the flow accounting applies — so a thinned
+       sample's size distribution stays consistent with its flows
+       instead of rounding each record's weight to an int. *)
     let len = float_of_int r.Dissect.Acap.orig_len in
-    Netcore.Histogram.add b.total_size_hist ~count:int_weight len;
-    Netcore.Histogram.add site_acc.size_hist ~count:int_weight len;
+    Netcore.Histogram.addf b.total_size_hist ~count:weight len;
+    Netcore.Histogram.addf site_acc.size_hist ~count:weight len;
     if List.mem "ipv6" r.Dissect.Acap.stack then
       b.ipv6_weight <- b.ipv6_weight +. weight;
     if r.Dissect.Acap.orig_len > 1518 then b.jumbo_weight <- b.jumbo_weight +. weight;
@@ -128,6 +139,21 @@ module Builder = struct
     b.flows_per_sample <-
       s.Patchwork.Capture.stats.Patchwork.Capture.flow_estimate :: b.flows_per_sample;
     let frac = s.Patchwork.Capture.materialized_fraction in
+    if frac <= 0.0 && records <> [] then begin
+      (* A thinned-to-nothing sample cannot be re-weighted; make the
+         weight-1.0 fallback visible instead of silent. *)
+      Obs.Registry.incr obs_unweighted;
+      match b.log with
+      | None -> ()
+      | Some l ->
+        Patchwork.Logging.log l ~time:s.Patchwork.Capture.sample_start
+          ~level:Patchwork.Logging.Warning
+          ~component:("analysis/profile/" ^ s.Patchwork.Capture.sample_site)
+          (Printf.sprintf
+             "sample at %.0fs has materialized_fraction %g <= 0; absorbing \
+              unweighted (weight 1.0)"
+             s.Patchwork.Capture.sample_start frac)
+    end;
     let weight = if frac > 0.0 then 1.0 /. frac else 1.0 in
     let acc = site_acc b s.Patchwork.Capture.sample_site in
     List.iter (absorb_record b acc weight) records
@@ -135,7 +161,7 @@ module Builder = struct
   let add_sample ?pool b (s : Patchwork.Capture.sample) =
     absorb_sample b s (Digest.sample_acaps ?pool s)
 
-  let add_report ?(pool = Parallel.Pool.sequential) b report =
+  let add_report ?(pool = Parallel.Pool.sequential) ?flow_store b report =
     b.occasions <- b.occasions + 1;
     (* Digestion — the expensive step — fans out across the pool, one
        task per sample; absorption into the shared builder then runs
@@ -145,7 +171,21 @@ module Builder = struct
     let digested =
       Parallel.Pool.map pool (fun s -> Digest.sample_acaps s) samples
     in
-    List.iter2 (absorb_sample b) samples digested
+    List.iter2 (absorb_sample b) samples digested;
+    (* Stream the occasion's flows to disk at the occasion boundary:
+       each sample becomes one weighted shard group, reusing the records
+       digested above, so long runs keep only aggregates (and the spill
+       buffer) in memory. *)
+    match flow_store with
+    | None -> ()
+    | Some w ->
+      List.iter2
+        (fun (s : Patchwork.Capture.sample) records ->
+          let shard = Flows.Shard.create () in
+          List.iter (Flows.Shard.add shard) records;
+          Flow_store.Writer.add_shard w ~site:s.Patchwork.Capture.sample_site
+            ~fraction:s.Patchwork.Capture.materialized_fraction shard)
+        samples digested
 
   let finish b =
     let header_stats =
@@ -166,7 +206,10 @@ module Builder = struct
       Hashtbl.fold
         (fun tok w acc -> (tok, 100.0 *. w /. total) :: acc)
         b.occurrence []
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      (* Percent-tied tokens break on the token itself, so the order
+         never depends on hash iteration. *)
+      |> List.sort (fun (ta, a) (tb, b) ->
+             match compare b a with 0 -> compare ta tb | c -> c)
     in
     let per_site_size =
       Hashtbl.fold (fun site acc l -> (site, acc.size_hist) :: l) b.sites []
@@ -185,7 +228,9 @@ module Builder = struct
           }
           :: l)
         b.flow_table []
-      |> List.sort (fun a b -> compare b.Flows.bytes a.Flows.bytes)
+      (* Same comparator as Flows.merge: byte ties break on the flow
+         key, honouring the shard-order-independence contract. *)
+      |> List.sort Flows.compare_by_bytes
     in
     let total_weight = Float.max 1e-9 b.occurrence_total in
     {

@@ -28,14 +28,24 @@ module Builder : sig
   type profile := t
   type t
 
-  val create : unit -> t
+  val create : ?log:Patchwork.Logging.t -> unit -> t
+  (** With [log], samples whose [materialized_fraction <= 0.0] (which
+      can only be absorbed unweighted) log a warning; they always bump
+      [analysis_unweighted_samples_total{stage="profile"}]. *)
 
   val add_report :
-    ?pool:Parallel.Pool.t -> t -> Patchwork.Coordinator.occasion_report -> unit
+    ?pool:Parallel.Pool.t ->
+    ?flow_store:Flow_store.Writer.t ->
+    t ->
+    Patchwork.Coordinator.occasion_report ->
+    unit
   (** Digest and absorb one occasion; safe to drop the report (and its
       samples) afterwards.  With a pool, per-sample digestion runs
       across domains (absorption stays in sample order, so the finished
-      profile is identical to a sequential build). *)
+      profile is identical to a sequential build).  With [flow_store],
+      each sample's flows are also appended to the store as one weighted
+      shard group — this is how the weekly service streams flows to disk
+      at occasion boundaries. *)
 
   val add_sample : ?pool:Parallel.Pool.t -> t -> Patchwork.Capture.sample -> unit
   (** Digest and absorb one sample. *)

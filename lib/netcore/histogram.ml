@@ -1,4 +1,10 @@
-type t = { edges : float array; counts : int array }
+(* Bin counts are kept as floats so that fractionally weighted
+   observations (a thinned capture sample contributes 1/fraction
+   "frames" per materialized record) accumulate exactly like every
+   other weighted statistic, instead of being rounded per record.
+   Integer counts below 2^53 stay exact, so the historical int API is
+   unchanged for unweighted callers. *)
+type t = { edges : float array; counts : float array }
 
 let create edges =
   let n = Array.length edges in
@@ -7,7 +13,7 @@ let create edges =
     if edges.(i) <= edges.(i - 1) then
       invalid_arg "Histogram.create: edges must be strictly increasing"
   done;
-  { edges; counts = Array.make (n + 1) 0 }
+  { edges; counts = Array.make (n + 1) 0.0 }
 
 (* Index of the bin containing [v]: 0 for v < e0, i for e(i-1) <= v < e(i),
    n for v >= e(n-1). *)
@@ -25,12 +31,17 @@ let bin_index t v =
     !lo + 1
   end
 
-let add t ?(count = 1) v =
+let addf t ~count v =
+  if count < 0.0 then invalid_arg "Histogram.addf: negative count";
   let i = bin_index t v in
-  t.counts.(i) <- t.counts.(i) + count
+  t.counts.(i) <- t.counts.(i) +. count
 
-let counts t = Array.copy t.counts
-let total t = Array.fold_left ( + ) 0 t.counts
+let add t ?(count = 1) v = addf t ~count:(float_of_int count) v
+
+let fcounts t = Array.copy t.counts
+let ftotal t = Array.fold_left ( +. ) 0.0 t.counts
+let counts t = Array.map (fun c -> int_of_float (Float.round c)) t.counts
+let total t = int_of_float (Float.round (ftotal t))
 let edges t = Array.copy t.edges
 
 let bin_label t i =
@@ -40,16 +51,15 @@ let bin_label t i =
   else Printf.sprintf "[%g, %g)" t.edges.(i - 1) t.edges.(i)
 
 let fractions t =
-  let tot = total t in
-  if tot = 0 then Array.make (Array.length t.counts) 0.0
-  else
-    Array.map (fun c -> float_of_int c /. float_of_int tot) t.counts
+  let tot = ftotal t in
+  if tot = 0.0 then Array.make (Array.length t.counts) 0.0
+  else Array.map (fun c -> c /. tot) t.counts
 
 let merge a b =
   if a.edges <> b.edges then invalid_arg "Histogram.merge: different edges";
   {
     edges = a.edges;
-    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) +. b.counts.(i));
   }
 
 module Log2 = struct

@@ -16,11 +16,25 @@ val create : float array -> t
 val add : t -> ?count:int -> float -> unit
 (** Add [count] (default 1) observations of a value. *)
 
+val addf : t -> count:float -> float -> unit
+(** Add a fractionally weighted observation.  Sampling weights
+    (1/materialized-fraction per record of a thinned capture) are floats;
+    accumulating them exactly — rather than rounding each record's weight
+    to an int — keeps size histograms consistent with the flow accounting,
+    which has always used exact float weights.  Raises [Invalid_argument]
+    on a negative count. *)
+
 val counts : t -> int array
-(** Per-bin counts, including the two open-ended outer bins; length is
-    [Array.length edges + 1]. *)
+(** Per-bin counts rounded to the nearest integer, including the two
+    open-ended outer bins; length is [Array.length edges + 1].  Exact
+    whenever only integer counts were added. *)
+
+val fcounts : t -> float array
+(** Per-bin counts without rounding (the authoritative values when
+    {!addf} was used). *)
 
 val total : t -> int
+val ftotal : t -> float
 val edges : t -> float array
 
 val bin_label : t -> int -> string

@@ -185,7 +185,12 @@ let test_flow_top_n () =
   in
   let top = Flows.top_n (Flows.aggregate records) 1 in
   Alcotest.(check int) "one" 1 (List.length top);
-  Alcotest.(check (float 1e-9)) "largest kept" 1000.0 (List.hd top).Flows.bytes
+  Alcotest.(check (float 1e-9)) "largest kept" 1000.0 (List.hd top).Flows.bytes;
+  let all = Flows.aggregate records in
+  Alcotest.(check bool) "n >= length returns all" true (Flows.top_n all 5 = all);
+  Alcotest.(check bool) "n = 0 returns none" true (Flows.top_n all 0 = []);
+  Alcotest.(check bool) "exact prefix" true
+    (Flows.top_n (all @ all) 3 = all @ [ List.hd all ])
 
 let test_flow_size_histogram () =
   let records =
@@ -266,6 +271,24 @@ let test_acap_file_roundtrip () =
       let back = Digest.read_acap_file path in
       Alcotest.(check int) "count" 2 (List.length back);
       Alcotest.(check bool) "identical" true (records = back))
+
+let test_acap_file_error_names_line () =
+  let records = [ record ~ts:1.0 (); record ~ts:2.0 () ] in
+  let path = Filename.temp_file "patchwork" ".acap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Digest.write_acap_file path records;
+      (* Corrupt the third line. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "not an acap line\n";
+      close_out oc;
+      match Digest.read_acap_file path with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+        let expected_prefix = path ^ ": line 3: " in
+        Alcotest.(check string) "names file and line" expected_prefix
+          (String.sub msg 0 (String.length expected_prefix)))
 
 let test_index_store () =
   let dir = Filename.temp_file "patchwork_index" "" in
@@ -360,6 +383,8 @@ let suites =
       [
         Alcotest.test_case "digest pcap" `Quick test_digest_pcap;
         Alcotest.test_case "acap file roundtrip" `Quick test_acap_file_roundtrip;
+        Alcotest.test_case "acap file error names line" `Quick
+          test_acap_file_error_names_line;
         Alcotest.test_case "index store" `Quick test_index_store;
       ] );
     ( "analysis.profile",

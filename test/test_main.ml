@@ -11,6 +11,7 @@ let () =
          Test_hostmodel.suites;
          Test_patchwork.suites;
          Test_analysis.suites;
+         Test_flowstore.suites;
          Test_extra.suites;
          Test_p4.suites;
          Test_formats.suites;

@@ -80,6 +80,38 @@ let test_histogram_merge () =
   let m = Histogram.merge a b in
   Alcotest.(check (array int)) "merged" [| 1; 1 |] (Histogram.counts m)
 
+let test_histogram_float_counts () =
+  let h = Histogram.create [| 100.0 |] in
+  (* Sampling weights land fractionally; fcounts/ftotal keep them
+     exact while the int accessors round for display. *)
+  Histogram.addf h ~count:2.5 10.0;
+  Histogram.addf h ~count:0.25 10.0;
+  Histogram.addf h ~count:1.75 200.0;
+  Alcotest.(check (array (float 1e-12))) "fcounts" [| 2.75; 1.75 |]
+    (Histogram.fcounts h);
+  Alcotest.(check (float 1e-12)) "ftotal" 4.5 (Histogram.ftotal h);
+  Alcotest.(check (array int)) "counts round" [| 3; 2 |] (Histogram.counts h);
+  Alcotest.(check (float 1e-12)) "fractions from floats" (2.75 /. 4.5)
+    (Histogram.fractions h).(0);
+  Alcotest.(check bool) "negative count rejected" true
+    (match Histogram.addf h ~count:(-1.0) 10.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* Merging preserves the fractional counts. *)
+  let other = Histogram.create [| 100.0 |] in
+  Histogram.addf other ~count:0.5 10.0;
+  Alcotest.(check (float 1e-12)) "merge keeps fractions" 3.25
+    (Histogram.fcounts (Histogram.merge h other)).(0)
+
+let test_histogram_int_path_exact () =
+  (* The classic int API must stay exact through the float store. *)
+  let h = Histogram.create [| 10.0 |] in
+  for _ = 1 to 1_000_000 do
+    Histogram.add h 5.0
+  done;
+  Alcotest.(check int) "a million adds stay exact" 1_000_000
+    (Histogram.counts h).(0)
+
 let test_log2_histogram () =
   let h = Histogram.Log2.create () in
   Histogram.Log2.add h 5.0;
@@ -208,6 +240,8 @@ let suites =
       [
         Alcotest.test_case "binning" `Quick test_histogram_binning;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "float counts" `Quick test_histogram_float_counts;
+        Alcotest.test_case "int path exact" `Quick test_histogram_int_path_exact;
         Alcotest.test_case "log2" `Quick test_log2_histogram;
       ] );
     ( "netcore.addr",
