@@ -146,6 +146,29 @@ let () =
     (Printf.sprintf "  identical=%b (%d flows)" fused_identical
        (List.length fused_flows));
   record "fused" 1 m_fused fused_identical;
+  (* Cached fused pass: bit-identical flows, but frames of already-seen
+     flows skip dissection entirely, so the hit path's per-frame
+     allocation floor is the regression signal. *)
+  let counter name =
+    match Obs.Registry.value Obs.Registry.default name with
+    | Some (Obs.Registry.Counter v) -> v
+    | _ -> 0.0
+  in
+  let cache_lookups () =
+    (counter "flow_cache_hits_total", counter "flow_cache_misses_total")
+  in
+  let h0, mi0 = cache_lookups () in
+  let cached_flows, m_cached =
+    measure (fun () -> Analysis.Digest.pcap_to_flows ~cache_bits:10 buf)
+  in
+  let h1, mi1 = cache_lookups () in
+  let hits = h1 -. h0 and lookups = h1 -. h0 +. (mi1 -. mi0) in
+  let hit_rate = if lookups > 0.0 then hits /. lookups else 0.0 in
+  let cached_identical = check (cached_flows = baseline_flows) in
+  pr "cached" 1 m_cached
+    (Printf.sprintf "  identical=%b (%.1f%% hits)" cached_identical
+       (100.0 *. hit_rate));
+  record "fused+cache" 1 m_cached cached_identical;
   (* Parallel: wall clock only (allocation spreads across domains), but
      the bit-identical guarantee must hold at every pool size. *)
   List.iter
@@ -168,8 +191,28 @@ let () =
             (Printf.sprintf "  %5.2fx  identical=%b"
                (m_fused.wall /. Float.max 1e-9 m.wall)
                identical);
-          record "fused" n m identical))
+          record "fused" n m identical;
+          let flows, m =
+            measure (fun () ->
+                Analysis.Digest.pcap_to_flows ~pool ~cache_bits:10 buf)
+          in
+          let identical = check (flows = baseline_flows) in
+          pr "cached" n m
+            (Printf.sprintf "  %5.2fx  identical=%b"
+               (m_cached.wall /. Float.max 1e-9 m.wall)
+               identical);
+          record "fused+cache" n m identical))
     (pool_sizes ());
+  (* The hit path should allocate a small constant per frame (shard
+     accounting only); the fused dissection allocates the header stack.
+     One domain keeps both counters exact. *)
+  let fused_wpf = m_fused.minor /. float_of_int frames in
+  let cached_wpf = m_cached.minor /. float_of_int frames in
+  let alloc_ratio = fused_wpf /. Float.max 1e-9 cached_wpf in
+  Printf.printf
+    "cache hit-path minor words/frame: %.1f vs %.1f fused (%.1fx, target >= \
+     3x)\n%!"
+    cached_wpf fused_wpf alloc_ratio;
   (* Instrumentation overhead: counters are batched per range and spans
      per stage, so disabling the registry must recover <5% wall clock on
      the sliced decode.  min-of-3 runs on each side; the absolute floor
@@ -200,6 +243,14 @@ let () =
       ("capture_bytes", Obs.Export.Json.Num (float_of_int (Bytes.length buf)));
       ("runs", Obs.Export.Json.Arr (List.rev !json_runs));
       ("sliced_minor_savings_pct", Obs.Export.Json.Num savings);
+      ( "cache",
+        Obs.Export.Json.Obj
+          [
+            ("hit_rate", Obs.Export.Json.Num hit_rate);
+            ("minor_words_per_frame", Obs.Export.Json.Num cached_wpf);
+            ("fused_minor_words_per_frame", Obs.Export.Json.Num fused_wpf);
+            ("alloc_ratio", Obs.Export.Json.Num alloc_ratio);
+          ] );
       ( "metrics_overhead",
         Obs.Export.Json.Obj
           [
@@ -219,4 +270,8 @@ let () =
   end;
   if savings < 30.0 then
     Printf.printf
-      "WARN: sliced minor-heap savings %.1f%% below the 30%% target\n" savings
+      "WARN: sliced minor-heap savings %.1f%% below the 30%% target\n" savings;
+  if alloc_ratio < 3.0 then
+    Printf.printf
+      "WARN: cache hit-path allocation ratio %.1fx below the 3x target\n"
+      alloc_ratio

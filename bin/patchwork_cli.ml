@@ -75,6 +75,36 @@ let write_metrics out format =
         output_char oc '\n');
     Printf.printf "wrote metrics snapshot to %s\n" path
 
+(* --- flow cache (shared by analyze/weekly) --- *)
+
+let flow_cache_bits_arg =
+  let doc =
+    "Route the digest through a per-worker flow cache with 2^$(docv) \
+     slots: frames of already-seen flows skip full dissection and replay \
+     the memoized classification.  Results are bit-identical at any \
+     value; only speed changes.  0 (the default) disables the cache."
+  in
+  Arg.(value & opt int 0 & info [ "flow-cache-bits" ] ~docv:"N" ~doc)
+
+let counter_value name =
+  match Obs.Registry.value Obs.Registry.default name with
+  | Some (Obs.Registry.Counter v) -> v
+  | _ -> 0.0
+
+(* One greppable summary line when the cache saw any traffic. *)
+let print_flow_cache_summary () =
+  let hits = counter_value "flow_cache_hits_total" in
+  let misses = counter_value "flow_cache_misses_total" in
+  let lookups = hits +. misses in
+  if lookups > 0.0 then
+    Printf.printf
+      "flow cache: hits=%.0f misses=%.0f collisions=%.0f evictions=%.0f \
+       hit-rate=%.1f%%\n"
+      hits misses
+      (counter_value "flow_cache_collisions_total")
+      (counter_value "flow_cache_evictions_total")
+      (100.0 *. hits /. lookups)
+
 (* --- profile --- *)
 
 let run_profile_occasion ~seed ~hours ~site ~max_frames pool =
@@ -245,8 +275,8 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "fused" ] ~doc)
   in
-  let run_fused file csv_dir pool =
-    let flows = Analysis.Digest.pcap_file_to_flows ~pool file in
+  let run_fused file csv_dir cache_bits pool =
+    let flows = Analysis.Digest.pcap_file_to_flows ~pool ~cache_bits file in
     let total_frames =
       List.fold_left (fun acc (f : Analysis.Flows.summary) -> acc +. f.Analysis.Flows.frames) 0.0 flows
     in
@@ -272,11 +302,11 @@ let analyze_cmd =
            (Analysis.Report.flow_rows flows));
       Printf.printf "wrote flows.csv under %s\n" dir
   in
-  let run file csv_dir fused domains metrics_out metrics_format =
+  let run file csv_dir fused cache_bits domains metrics_out metrics_format =
     (with_domains domains @@ fun pool ->
-    if fused then run_fused file csv_dir pool
+    if fused then run_fused file csv_dir cache_bits pool
     else begin
-    let acaps = Analysis.Digest.pcap_file_to_acaps ~pool file in
+    let acaps = Analysis.Digest.pcap_file_to_acaps ~pool ~cache_bits file in
     let occ = Analysis.Analyze.occurrence acaps in
     let h = Analysis.Analyze.frame_size_histogram acaps in
     Printf.printf "%d frames, %d distinct flows, %.2f%% IPv6, %.1f%% jumbo\n"
@@ -303,13 +333,14 @@ let analyze_cmd =
            (Analysis.Report.histogram_rows h));
       Printf.printf "wrote CSVs under %s\n" dir
     end);
+    print_flow_cache_summary ();
     write_metrics metrics_out metrics_format
   in
   let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
   Cmd.v info
     Term.(
-      const run $ file $ csv_dir $ fused $ domains_arg $ metrics_out_arg
-      $ metrics_format_arg)
+      const run $ file $ csv_dir $ fused $ flow_cache_bits_arg $ domains_arg
+      $ metrics_out_arg $ metrics_format_arg)
 
 (* --- weekly --- *)
 
@@ -389,10 +420,14 @@ let weekly_cmd =
   in
   let run seed weeks start_day hours out domains metrics_out metrics_format
       serve_metrics hold alert_rules pipeline pipeline_depth flow_store
-      spill_threshold =
+      spill_threshold flow_cache_bits =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
+    (* The per-sample digests sit behind the coordinator, so the cache
+       setting travels as the process-wide default. *)
+    if flow_cache_bits > 0 then
+      Analysis.Digest.set_default_cache_bits flow_cache_bits;
     let rules =
       match alert_rules with
       | [] -> Live.default_rules
@@ -440,6 +475,9 @@ let weekly_cmd =
           Patchwork.Config.samples_per_run = 4;
           max_frames_per_sample = 3000;
           pool_size = Parallel.Pool.size pool;
+          (* The flow cache lives on the digest path, which only runs
+             when samples carry real pcap bytes. *)
+          emit_pcap = flow_cache_bits > 0;
         }
       in
       let report =
@@ -505,6 +543,7 @@ let weekly_cmd =
         (Analysis.Flow_store.Writer.spilled_bytes w)
         dir
     | _ -> ());
+    print_flow_cache_summary ();
     write_metrics metrics_out metrics_format;
     match live with
     | None -> ()
@@ -524,7 +563,8 @@ let weekly_cmd =
     Term.(
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
       $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
-      $ alert_rules $ pipeline $ pipeline_depth $ flow_store $ spill_threshold)
+      $ alert_rules $ pipeline $ pipeline_depth $ flow_store $ spill_threshold
+      $ flow_cache_bits_arg)
 
 (* --- query --- *)
 
@@ -778,6 +818,30 @@ let print_attribution metrics =
       totals.(0) totals.(1) totals.(2) totals.(3) loss
   end
 
+(* Flow-cache hit rate from the snapshot's digest counters; silent when
+   the run never enabled the cache. *)
+let print_cache_line metrics =
+  let value name =
+    List.fold_left
+      (fun acc m ->
+        match
+          (Option.bind (J.member "name" m) J.to_str,
+           Option.bind (J.member "value" m) J.to_float)
+        with
+        | Some n, Some v when n = name -> acc +. v
+        | _ -> acc)
+      0.0 metrics
+  in
+  let hits = value "flow_cache_hits_total" in
+  let misses = value "flow_cache_misses_total" in
+  let lookups = hits +. misses in
+  if lookups > 0.0 then
+    Printf.printf
+      "flow cache: %.0f/%.0f lookups hit (%.1f%% hit rate, %.0f collisions)\n"
+      hits lookups
+      (100.0 *. hits /. lookups)
+      (value "flow_cache_collisions_total")
+
 let render_report doc =
   (match J.member "spans" doc with
   | Some (J.Arr (_ :: _ as spans)) ->
@@ -786,7 +850,9 @@ let render_report doc =
   | _ -> print_endline "no spans in snapshot");
   print_newline ();
   match J.member "metrics" doc with
-  | Some (J.Arr metrics) -> print_attribution metrics
+  | Some (J.Arr metrics) ->
+    print_attribution metrics;
+    print_cache_line metrics
   | _ -> print_endline "no metrics in snapshot"
 
 let report_cmd =

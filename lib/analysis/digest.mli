@@ -5,29 +5,53 @@
     expensive step of the paper's offline pipeline ("most of this time
     is taken up by Wireshark's protocol dissectors"). *)
 
-val pcap_to_acaps : ?pool:Parallel.Pool.t -> bytes -> Dissect.Acap.record list
+val pcap_to_acaps :
+  ?pool:Parallel.Pool.t -> ?cache_bits:int -> bytes -> Dissect.Acap.record list
 (** Dissect every packet of an in-memory capture (classic pcap or
     pcapng, detected from the magic number) through the indexed,
     zero-copy decode: record headers are walked once to build an
     offset/length index, then index ranges are dissected in parallel as
     {!Packet.Slice} views of the shared buffer — packet payloads are
     never copied.  Record order (and content) is identical to the
-    sequential, copying run at any pool size. *)
+    sequential, copying run at any pool size.
+
+    [cache_bits > 0] routes each range worker through its own
+    {!Dissect.Flow_cache} with [2^cache_bits] slots: frames of
+    already-seen flows skip dissection and replay the memoized
+    classification.  Records are bit-identical to the uncached run at
+    any pool size; only speed changes.  Defaults to the process-wide
+    {!set_default_cache_bits} value (initially 0 = off). *)
 
 val pcap_to_acaps_copying :
   ?pool:Parallel.Pool.t -> bytes -> Dissect.Acap.record list
 (** The pre-index materializing path ([Bytes.sub] per packet), kept as
     the correctness and allocation baseline for benchmarks and tests. *)
 
-val pcap_to_flows : ?pool:Parallel.Pool.t -> bytes -> Flows.summary list
+val pcap_to_flows :
+  ?pool:Parallel.Pool.t -> ?cache_bits:int -> bytes -> Flows.summary list
 (** Fused single-pass digest→flows fast path: each index range streams
     its dissected records straight into a per-range {!Flows.Shard}
     without materializing the intermediate acap list, keeping live
     memory O(flows) instead of O(packets).  Bit-identical to
-    [Flows.aggregate (pcap_to_acaps buf)]. *)
+    [Flows.aggregate (pcap_to_acaps buf)].
 
-val pcap_file_to_acaps : ?pool:Parallel.Pool.t -> string -> Dissect.Acap.record list
-val pcap_file_to_flows : ?pool:Parallel.Pool.t -> string -> Flows.summary list
+    With [cache_bits > 0] a flow-cache hit jumps straight to shard
+    accounting — interned key, ts/orig_len from the index, RST from the
+    memoized flags offset — with zero intermediate records.  Output is
+    bit-identical to the uncached fused pass at any pool size. *)
+
+val set_default_cache_bits : int -> unit
+(** Process-wide default for [?cache_bits] (initially 0 = off), so
+    paths that cannot thread the argument — the weekly service's
+    per-sample digests — pick the cache up too.  An explicit
+    [?cache_bits] always wins.  Raises [Invalid_argument] on negative
+    bits. *)
+
+val pcap_file_to_acaps :
+  ?pool:Parallel.Pool.t -> ?cache_bits:int -> string -> Dissect.Acap.record list
+
+val pcap_file_to_flows :
+  ?pool:Parallel.Pool.t -> ?cache_bits:int -> string -> Flows.summary list
 
 val sample_acaps :
   ?pool:Parallel.Pool.t -> Patchwork.Capture.sample -> Dissect.Acap.record list

@@ -40,6 +40,12 @@ module Shard : sig
   val add : t -> Dissect.Acap.record -> unit
   (** Fold one record in (records without a flow key are ignored). *)
 
+  val add_keyed : t -> key:string -> ts:float -> bytes:int -> rst:bool -> unit
+  (** Fold one frame in by its precomputed flow key — the flow cache's
+      hit path, which skips building the record entirely.  [add r] is
+      exactly [add_keyed ~key:(flow_key r) ~ts:r.ts ~bytes:r.orig_len
+      ~rst:r.tcp_rst]. *)
+
   val fold :
     t ->
     init:'a ->

@@ -17,12 +17,8 @@ type record = {
 (* When dissection stopped at a bare TCP/UDP header, classify the
    payload above it by well-known port, as tshark does; the service
    token counts as one more "header" in the abstract stack. *)
-let service_token (headers : H.header list) =
-  let rec last acc = function
-    | [] -> acc
-    | h :: rest -> last (Some h) rest
-  in
-  match last None headers with
+let service_token (last : H.header option) =
+  match last with
   | Some (H.Tcp { src_port; dst_port; _ }) ->
     Option.map
       (fun s -> s.Services.service_name)
@@ -33,48 +29,57 @@ let service_token (headers : H.header list) =
       (Services.lookup Services.Udp ~src_port ~dst_port)
   | _ -> None
 
+(* One left-to-right walk collects everything the record needs: the
+   header list is consed back-to-front and innermost-wins fields (L3
+   endpoints, L4 ports) simply overwrite as the walk descends, so the
+   single fold produces exactly what six separate walks used to.  The
+   innermost IP is rendered once, after the walk. *)
 let abstract ~ts ~orig_len ~cap_len ~truncated (headers : H.header list) =
-  let stack = List.map H.name headers in
-  let stack =
-    match service_token headers with
-    | Some token -> stack @ [ token ]
-    | None -> stack
+  let rec walk stack_rev vlans_rev mpls_rev l3 l4 rst last = function
+    | [] ->
+      let stack =
+        List.rev
+          (match service_token last with
+          | Some token -> token :: stack_rev
+          | None -> stack_rev)
+      in
+      let src, dst =
+        match l3 with
+        | Some (H.Ipv4 { src; dst; _ }) ->
+          (Some (Netcore.Ipv4_addr.to_string src),
+           Some (Netcore.Ipv4_addr.to_string dst))
+        | Some (H.Ipv6 { src; dst; _ }) ->
+          (Some (Netcore.Ipv6_addr.to_string src),
+           Some (Netcore.Ipv6_addr.to_string dst))
+        | _ -> (None, None)
+      in
+      {
+        ts; orig_len; cap_len; stack;
+        vlan_ids = List.rev vlans_rev;
+        mpls_labels = List.rev mpls_rev;
+        src; dst; l4; tcp_rst = rst; truncated;
+      }
+    | h :: rest ->
+      let stack_rev = H.name h :: stack_rev in
+      let vlans_rev =
+        match h with H.Vlan { vid; _ } -> vid :: vlans_rev | _ -> vlans_rev
+      in
+      let mpls_rev =
+        match h with H.Mpls { label; _ } -> label :: mpls_rev | _ -> mpls_rev
+      in
+      let l3 = match h with H.Ipv4 _ | H.Ipv6 _ -> Some h | _ -> l3 in
+      let l4 =
+        match h with
+        | H.Tcp { src_port; dst_port; _ } | H.Udp { src_port; dst_port } ->
+          Some (src_port, dst_port)
+        | _ -> l4
+      in
+      let rst =
+        match h with H.Tcp { flags; _ } -> rst || flags.rst | _ -> rst
+      in
+      walk stack_rev vlans_rev mpls_rev l3 l4 rst (Some h) rest
   in
-  let vlan_ids =
-    List.filter_map (function H.Vlan { vid; _ } -> Some vid | _ -> None) headers
-  in
-  let mpls_labels =
-    List.filter_map (function H.Mpls { label; _ } -> Some label | _ -> None) headers
-  in
-  let src, dst =
-    let render = function
-      | H.Ipv4 { src; dst; _ } ->
-        Some (Netcore.Ipv4_addr.to_string src, Netcore.Ipv4_addr.to_string dst)
-      | H.Ipv6 { src; dst; _ } ->
-        Some (Netcore.Ipv6_addr.to_string src, Netcore.Ipv6_addr.to_string dst)
-      | _ -> None
-    in
-    let rec innermost acc = function
-      | [] -> acc
-      | h :: rest -> innermost (match render h with Some p -> Some p | None -> acc) rest
-    in
-    match innermost None headers with
-    | Some (s, d) -> (Some s, Some d)
-    | None -> (None, None)
-  in
-  let l4 =
-    let rec innermost acc = function
-      | [] -> acc
-      | H.Tcp { src_port; dst_port; _ } :: rest -> innermost (Some (src_port, dst_port)) rest
-      | H.Udp { src_port; dst_port } :: rest -> innermost (Some (src_port, dst_port)) rest
-      | _ :: rest -> innermost acc rest
-    in
-    innermost None headers
-  in
-  let tcp_rst =
-    List.exists (function H.Tcp { flags; _ } -> flags.rst | _ -> false) headers
-  in
-  { ts; orig_len; cap_len; stack; vlan_ids; mpls_labels; src; dst; l4; tcp_rst; truncated }
+  walk [] [] [] None None false None headers
 
 let of_packet (p : Packet.Pcap.packet) =
   let d = Dissector.dissect_packet p in
@@ -95,29 +100,86 @@ let of_frame ~ts (frame : Packet.Frame.t) =
   abstract ~ts ~orig_len:len ~cap_len:len ~truncated:false frame.headers
 
 (* One record per line; fields are tab-separated, list elements
-   comma-separated, missing values are "-". *)
+   comma-separated, missing values are "-".  Serialization runs once
+   per frame on the digest output path, so fields are written straight
+   into one buffer with direct digit rendering instead of Printf
+   (format interpretation and float boxing dominate the sprintf cost,
+   as with Ipv4_addr.to_string). *)
 
 let opt_str = function None -> "-" | Some s -> s
 
-let ints_str = function
-  | [] -> "-"
-  | l -> String.concat "," (List.map string_of_int l)
+let buf_add_ints b sep = function
+  | [] -> Buffer.add_char b '-'
+  | v :: rest ->
+    Buffer.add_string b (string_of_int v);
+    List.iter
+      (fun v ->
+        Buffer.add_char b sep;
+        Buffer.add_string b (string_of_int v))
+      rest
+
+(* Fixed-point rendering equivalent to ["%.6f"] for the timestamps this
+   code meets (non-negative, well under 2^52 us, so [v *. 1e6] is off
+   by < 0.5 from the exact product and rounding recovers the same
+   microsecond count printf prints).  Anything outside that range falls
+   back to Printf. *)
+let buf_add_ts b v =
+  if not (Float.is_finite v) || v < 0.0 || v >= 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.6f" v)
+  else begin
+    let total = Int64.of_float (Float.round (v *. 1e6)) in
+    let sec = Int64.div total 1_000_000L in
+    let usec = Int64.to_int (Int64.rem total 1_000_000L) in
+    Buffer.add_string b (Int64.to_string sec);
+    Buffer.add_char b '.';
+    let digits = Bytes.create 6 in
+    let rec fill i u =
+      if i >= 0 then begin
+        Bytes.unsafe_set digits i (Char.unsafe_chr (48 + (u mod 10)));
+        fill (i - 1) (u / 10)
+      end
+    in
+    fill 5 usec;
+    Buffer.add_bytes b digits
+  end
 
 let to_line r =
-  String.concat "\t"
-    [
-      Printf.sprintf "%.6f" r.ts;
-      string_of_int r.orig_len;
-      string_of_int r.cap_len;
-      String.concat "," r.stack;
-      ints_str r.vlan_ids;
-      ints_str r.mpls_labels;
-      opt_str r.src;
-      opt_str r.dst;
-      (match r.l4 with None -> "-" | Some (s, d) -> Printf.sprintf "%d,%d" s d);
-      (if r.tcp_rst then "R" else "-");
-      (if r.truncated then "T" else "-");
-    ]
+  let b = Buffer.create 96 in
+  buf_add_ts b r.ts;
+  Buffer.add_char b '\t';
+  Buffer.add_string b (string_of_int r.orig_len);
+  Buffer.add_char b '\t';
+  Buffer.add_string b (string_of_int r.cap_len);
+  Buffer.add_char b '\t';
+  (match r.stack with
+  | [] -> ()
+  | tok :: rest ->
+    Buffer.add_string b tok;
+    List.iter
+      (fun tok ->
+        Buffer.add_char b ',';
+        Buffer.add_string b tok)
+      rest);
+  Buffer.add_char b '\t';
+  buf_add_ints b ',' r.vlan_ids;
+  Buffer.add_char b '\t';
+  buf_add_ints b ',' r.mpls_labels;
+  Buffer.add_char b '\t';
+  Buffer.add_string b (opt_str r.src);
+  Buffer.add_char b '\t';
+  Buffer.add_string b (opt_str r.dst);
+  Buffer.add_char b '\t';
+  (match r.l4 with
+  | None -> Buffer.add_char b '-'
+  | Some (s, d) ->
+    Buffer.add_string b (string_of_int s);
+    Buffer.add_char b ',';
+    Buffer.add_string b (string_of_int d));
+  Buffer.add_char b '\t';
+  Buffer.add_char b (if r.tcp_rst then 'R' else '-');
+  Buffer.add_char b '\t';
+  Buffer.add_char b (if r.truncated then 'T' else '-');
+  Buffer.contents b
 
 let parse_opt = function "-" -> None | s -> Some s
 
@@ -152,12 +214,12 @@ let of_line line =
     with Failure msg -> Error ("Acap.of_line: " ^ msg))
   | _ -> Error "Acap.of_line: wrong field count"
 
+(* Runs once per frame in every shard add and on every cache miss, so
+   the key is written directly into one buffer — no Printf, no
+   intermediate list-of-strings. *)
 let flow_key r =
   match (r.src, r.dst) with
   | Some src, Some dst ->
-    let l4_part =
-      match r.l4 with None -> "-" | Some (s, d) -> Printf.sprintf "%d:%d" s d
-    in
     let proto =
       if List.mem "tcp" r.stack then "tcp"
       else if List.mem "udp" r.stack then "udp"
@@ -165,7 +227,22 @@ let flow_key r =
       else if List.mem "icmpv6" r.stack then "icmpv6"
       else "other"
     in
-    Some
-      (String.concat "|"
-         [ ints_str r.vlan_ids; ints_str r.mpls_labels; src; dst; proto; l4_part ])
+    let b = Buffer.create 64 in
+    buf_add_ints b ',' r.vlan_ids;
+    Buffer.add_char b '|';
+    buf_add_ints b ',' r.mpls_labels;
+    Buffer.add_char b '|';
+    Buffer.add_string b src;
+    Buffer.add_char b '|';
+    Buffer.add_string b dst;
+    Buffer.add_char b '|';
+    Buffer.add_string b proto;
+    Buffer.add_char b '|';
+    (match r.l4 with
+    | None -> Buffer.add_char b '-'
+    | Some (s, d) ->
+      Buffer.add_string b (string_of_int s);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int d));
+    Some (Buffer.contents b)
   | _ -> None

@@ -1,0 +1,160 @@
+(* A megaflow-style computational cache for the digest hot path (after
+   OVS's NSDI'22 computational cache): most frames belong to flows the
+   digest has already classified, so the full dissect+abstract pipeline
+   runs once per flow and later frames replay the memoized
+   classification after a cheap prefix comparison.
+
+   Correctness rests on Dissector.meta: an entry is installed only from
+   a clean (untruncated, cacheable) parse, and it stores every byte the
+   dissection examined.  A candidate frame hits only when
+
+     - its capture is at least as long as the stored prefix,
+     - its capture reaches the outermost IP datagram end (e_wire_min),
+       so the extent narrowing that shaped the parse succeeds again, and
+     - its prefix bytes equal the stored ones — byte compare, never
+       hash-only — except the TCP flags byte, which is the one
+       per-frame-variable field the abstract record reads and is
+       re-read from the frame at its memoized offset.
+
+   Under those conditions the full dissection of the candidate provably
+   reproduces the stored classification (all reads and remaining-
+   threshold checks land inside the compared prefix or inside
+   cap-length-independent narrowed extents), so a hit is bit-identical
+   to the uncached path — the cache can change only speed, never
+   results, at any pool size. *)
+
+type entry = {
+  e_hash : int;
+  e_prefix : string;  (* the examined bytes at install time *)
+  e_flags_off : int;  (* TCP flags byte offset, -1 when the flow has none *)
+  e_l3_off : int;  (* innermost IP header offset, -1 without one *)
+  e_wire_min : int;  (* outermost IP datagram end, 0 without one *)
+  e_flow_key : string option;  (* interned: shared by every hit *)
+  e_stack : string list;
+  e_vlan_ids : int list;
+  e_mpls_labels : int list;
+  e_src : string option;
+  e_dst : string option;
+  e_l4 : (int * int) option;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;  (* occupied slot, prefix mismatch *)
+  mutable installs : int;
+  mutable evictions : int;  (* installs over an occupied slot *)
+}
+
+type t = {
+  mask : int;
+  slots : entry option array;  (* direct-mapped, power-of-two *)
+  stats : stats;
+}
+
+let max_bits = 24
+
+let create ~bits =
+  if bits < 0 || bits > max_bits then
+    invalid_arg "Flow_cache.create: bits must be in [0, 24]";
+  {
+    mask = (1 lsl bits) - 1;
+    slots = Array.make (1 lsl bits) None;
+    stats = { hits = 0; misses = 0; collisions = 0; installs = 0; evictions = 0 };
+  }
+
+let slots t = Array.length t.slots
+let stats t = t.stats
+
+let lookup t slice =
+  let h = Packet.Slice.prefix_hash slice in
+  match Array.unsafe_get t.slots (h land t.mask) with
+  | Some e
+    when e.e_hash = h
+         && Packet.Slice.length slice >= e.e_wire_min
+         && Packet.Slice.equal_string_prefix slice e.e_prefix
+              ~skip:e.e_flags_off ->
+    t.stats.hits <- t.stats.hits + 1;
+    Some e
+  | Some _ ->
+    (* Occupied but not this flow (or the frame is too short to verify):
+       fall back to full dissection rather than ever trusting the hash. *)
+    t.stats.misses <- t.stats.misses + 1;
+    t.stats.collisions <- t.stats.collisions + 1;
+    None
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    None
+
+let hit_flow_key e = e.e_flow_key
+
+let hit_rst e slice =
+  e.e_flags_off >= 0 && Packet.Slice.get_u8 slice e.e_flags_off land 0x04 <> 0
+
+(* On a verified hit the only record fields that can differ from the
+   install-time frame are the per-frame ones, all read directly: ts and
+   orig_len from the index entry, cap_len from the slice, tcp_rst from
+   the memoized flags offset, truncated from the length comparison
+   (the extent narrowing cannot fail given cap_len >= e_wire_min). *)
+let hit_record e ~ts ~orig_len slice =
+  {
+    Acap.ts;
+    orig_len;
+    cap_len = Packet.Slice.length slice;
+    stack = e.e_stack;
+    vlan_ids = e.e_vlan_ids;
+    mpls_labels = e.e_mpls_labels;
+    src = e.e_src;
+    dst = e.e_dst;
+    l4 = e.e_l4;
+    tcp_rst = hit_rst e slice;
+    truncated = orig_len > Packet.Slice.length slice;
+  }
+
+(* The miss path: full dissection, then install when the parse was
+   clean.  Truncated frames and parses whose outcome depended on the
+   capture length are never installed — they would poison later hits. *)
+let classify t ~ts ~orig_len slice =
+  let meta = Dissector.fresh_meta () in
+  let d = Dissector.dissect_slice_meta ~orig_len ~meta slice in
+  let cap_len = Packet.Slice.length slice in
+  let r =
+    Acap.abstract ~ts ~orig_len ~cap_len ~truncated:d.Dissector.truncated
+      d.Dissector.headers
+  in
+  if (not r.Acap.truncated) && meta.Dissector.m_cacheable then begin
+    (* A guarded peek can mark one byte past the capture end as
+       examined without reading it; clamp so the stored prefix is
+       always real frame bytes. *)
+    let plen = min meta.Dissector.m_examined cap_len in
+    if plen > 0 then begin
+      let h = Packet.Slice.prefix_hash slice in
+      let slot = h land t.mask in
+      (match Array.unsafe_get t.slots slot with
+      | Some _ -> t.stats.evictions <- t.stats.evictions + 1
+      | None -> ());
+      Array.unsafe_set t.slots slot
+        (Some
+           {
+             e_hash = h;
+             e_prefix = Packet.Slice.prefix_string slice plen;
+             e_flags_off = meta.Dissector.m_flags_off;
+             e_l3_off = meta.Dissector.m_l3_off;
+             e_wire_min = meta.Dissector.m_wire_min;
+             e_flow_key = Acap.flow_key r;
+             e_stack = r.Acap.stack;
+             e_vlan_ids = r.Acap.vlan_ids;
+             e_mpls_labels = r.Acap.mpls_labels;
+             e_src = r.Acap.src;
+             e_dst = r.Acap.dst;
+             e_l4 = r.Acap.l4;
+           });
+      t.stats.installs <- t.stats.installs + 1
+    end
+  end;
+  r
+
+let record t ~ts ~orig_len slice =
+  match lookup t slice with
+  | Some e -> hit_record e ~ts ~orig_len slice
+  | None -> classify t ~ts ~orig_len slice

@@ -1,0 +1,73 @@
+(** Flow-key computational cache for the digest hot path.
+
+    Modeled on OVS's megaflow/computational cache (Rashelbach et al.,
+    NSDI'22): a bounded, power-of-two, direct-mapped cache keyed on a
+    cheap hash of the frame's header prefix, mapping to the fully
+    materialized classification — the interned flow key, the abstract
+    stack / VLAN / MPLS / L3 / L4 fields, and memoized offsets for the
+    per-frame-variable fields (TCP flags byte, innermost IP header,
+    outermost datagram end).  On a hit the fused digest jumps straight
+    to flow accounting with no intermediate header records; on a miss
+    the full dissection runs and installs the entry.
+
+    Hits are decided by comparing the stored prefix bytes — never by
+    hash alone — so a slot collision falls back to full dissection
+    instead of misclassifying.  Entries are installed only from clean
+    (untruncated) parses, and a hit additionally requires the capture
+    to reach the outermost IP datagram end, which makes a hit provably
+    bit-identical to the uncached path: the cache changes speed, never
+    results.  Instances are not thread-safe; the digest creates one per
+    range worker, which also makes cached results independent of the
+    pool size by construction. *)
+
+type t
+
+type entry
+(** A verified hit: the memoized classification of one flow. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+      (** misses whose slot was occupied by a different flow *)
+  mutable installs : int;
+  mutable evictions : int;  (** installs that overwrote an occupied slot *)
+}
+
+val create : bits:int -> t
+(** A direct-mapped cache with [2^bits] slots ([bits = 0] is a single
+    slot, useful to stress eviction).  Raises [Invalid_argument]
+    outside [0, 24]. *)
+
+val slots : t -> int
+
+val stats : t -> stats
+(** Live counters (the digest batches them into [lib/obs] once per
+    capture, never per frame). *)
+
+val lookup : t -> Packet.Slice.t -> entry option
+(** Probe the slot for this frame's prefix hash and verify the stored
+    prefix bytes (masking the TCP flags byte).  [None] on empty slot,
+    prefix mismatch, or a frame too short to verify — callers then take
+    {!classify}. *)
+
+val hit_flow_key : entry -> string option
+(** The interned flow key ([None] for flows with no L3 header). *)
+
+val hit_rst : entry -> Packet.Slice.t -> bool
+(** The frame's RST bit, read at the memoized flags offset. *)
+
+val hit_record : entry -> ts:float -> orig_len:int -> Packet.Slice.t -> Acap.record
+(** The full abstract record for a hit frame: memoized classification
+    plus the per-frame fields read directly ([ts], [orig_len],
+    [cap_len], [tcp_rst], [truncated]).  Bit-identical to
+    {!Acap.of_slice} on the same frame. *)
+
+val classify : t -> ts:float -> orig_len:int -> Packet.Slice.t -> Acap.record
+(** The miss path: full dissection and abstraction, installing the
+    entry when the parse was clean (truncated frames and parses whose
+    outcome depended on the capture length are never installed). *)
+
+val record : t -> ts:float -> orig_len:int -> Packet.Slice.t -> Acap.record
+(** [lookup] then {!hit_record}, falling back to {!classify}: a drop-in
+    cached replacement for {!Acap.of_slice}. *)

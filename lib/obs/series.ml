@@ -257,6 +257,14 @@ module Collector = struct
             ~at
             (delta "occasion_sites_total" l))
         [ "success"; "degraded"; "failed"; "incomplete" ];
+      (* Flow-cache hit rate over this round's digest lookups. *)
+      let cache_hits = delta "flow_cache_hits_total" [] in
+      let cache_misses = delta "flow_cache_misses_total" [] in
+      if cache_hits +. cache_misses > 0.0 then
+        push
+          (get_series t "flow_cache_hit_rate" [])
+          ~at
+          (cache_hits /. (cache_hits +. cache_misses));
       (* Queue-wait p99 from the delta histogram. *)
       let qw_key = ("pool_queue_wait_seconds", []) in
       let cur_bins =

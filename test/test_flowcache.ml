@@ -1,0 +1,194 @@
+(* The flow-key computational cache: install/hit/evict/collision
+   semantics, invalidation on truncated frames, the masked TCP-flags
+   byte, and the headline contract — cached digests are bit-identical
+   to uncached ones at any pool size, cache size or traffic mix. *)
+
+module FC = Dissect.Flow_cache
+module Acap = Dissect.Acap
+module H = Packet.Headers
+
+let slice_of b = Packet.Slice.make b ~off:0 ~len:(Bytes.length b)
+
+let of_slice_at ~ts b =
+  Acap.of_slice ~ts ~orig_len:(Bytes.length b) (slice_of b)
+
+let check_record msg expected actual =
+  Alcotest.(check string) msg (Acap.to_line expected) (Acap.to_line actual)
+
+let test_install_then_hit () =
+  let rng = Frame_gen.rng_of_seed 7 in
+  let b = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:200 rng) in
+  let orig = Bytes.length b in
+  let c = FC.create ~bits:4 in
+  let r1 = FC.record c ~ts:1.0 ~orig_len:orig (slice_of b) in
+  let st = FC.stats c in
+  Alcotest.(check int) "first frame misses" 1 st.FC.misses;
+  Alcotest.(check int) "clean parse installs" 1 st.FC.installs;
+  let r2 = FC.record c ~ts:2.0 ~orig_len:orig (slice_of b) in
+  Alcotest.(check int) "second frame hits" 1 (FC.stats c).FC.hits;
+  check_record "miss path ≡ uncached" (of_slice_at ~ts:1.0 b) r1;
+  check_record "hit path ≡ uncached" (of_slice_at ~ts:2.0 b) r2
+
+let test_single_slot_eviction () =
+  let rng = Frame_gen.rng_of_seed 11 in
+  let ba = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:64 rng) in
+  let bb = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:64 rng) in
+  let c = FC.create ~bits:0 in
+  Alcotest.(check int) "bits:0 is one slot" 1 (FC.slots c);
+  for i = 0 to 9 do
+    let b = if i mod 2 = 0 then ba else bb in
+    let ts = float_of_int i in
+    let r = FC.record c ~ts ~orig_len:(Bytes.length b) (slice_of b) in
+    check_record "thrashing slot stays identical" (of_slice_at ~ts b) r
+  done;
+  Alcotest.(check bool) "alternating flows evict" true
+    ((FC.stats c).FC.evictions > 0)
+
+let test_collision_falls_back () =
+  let rng = Frame_gen.rng_of_seed 13 in
+  let ba = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:64 rng) in
+  let bb = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:64 rng) in
+  let c = FC.create ~bits:0 in
+  ignore (FC.record c ~ts:0.0 ~orig_len:(Bytes.length ba) (slice_of ba));
+  (match FC.lookup c (slice_of bb) with
+  | Some _ -> Alcotest.fail "a different flow in the slot must not hit"
+  | None -> ());
+  Alcotest.(check int) "occupied-slot miss counts as collision" 1
+    (FC.stats c).FC.collisions
+
+let test_truncated_never_installs () =
+  let rng = Frame_gen.rng_of_seed 17 in
+  let b = Packet.Codec.encode (Frame_gen.random_frame ~max_payload:300 rng) in
+  let orig = Bytes.length b in
+  (* 40 bytes cuts inside the L3/L4 headers of every generated stack
+     (the shortest well-formed frame is eth+ipv4+udp = 42 bytes). *)
+  let cut = Bytes.sub b 0 40 in
+  let c = FC.create ~bits:4 in
+  let r = FC.record c ~ts:0.0 ~orig_len:orig (slice_of cut) in
+  Alcotest.(check bool) "snapped frame is truncated" true r.Acap.truncated;
+  Alcotest.(check int) "truncated parse never installs" 0
+    (FC.stats c).FC.installs;
+  (* Install from the full frame; a snapped replay of the same flow
+     must miss (the capture no longer reaches the datagram end). *)
+  ignore (FC.record c ~ts:1.0 ~orig_len:orig (slice_of b));
+  Alcotest.(check int) "full parse installs" 1 (FC.stats c).FC.installs;
+  (match FC.lookup c (slice_of cut) with
+  | Some _ -> Alcotest.fail "a snapped frame must not hit"
+  | None -> ());
+  let r2 = FC.record c ~ts:2.0 ~orig_len:orig (slice_of cut) in
+  check_record "snapped replay ≡ uncached"
+    (Acap.of_slice ~ts:2.0 ~orig_len:orig (slice_of cut))
+    r2
+
+let test_rst_flip_still_hits () =
+  let rng = Frame_gen.rng_of_seed 19 in
+  let stack =
+    [ Frame_gen.ethernet rng; Frame_gen.ipv4 rng; Frame_gen.tcp_for rng None ]
+  in
+  let b = Packet.Codec.encode (Packet.Frame.make stack ~payload_len:100) in
+  let orig = Bytes.length b in
+  let c = FC.create ~bits:6 in
+  let r0 = FC.record c ~ts:0.0 ~orig_len:orig (slice_of b) in
+  Alcotest.(check bool) "template carries no RST" false r0.Acap.tcp_rst;
+  (* Flip the raw TCP flags byte (eth 14 + ipv4 20 + offset 13): same
+     flow, different per-frame flags.  The prefix compare masks exactly
+     this byte, so the cache must still hit and read RST per frame. *)
+  let b' = Bytes.copy b in
+  let flags_off = 14 + 20 + 13 in
+  Bytes.set b' flags_off
+    (Char.chr (Char.code (Bytes.get b' flags_off) lor 0x04));
+  match FC.lookup c (slice_of b') with
+  | None -> Alcotest.fail "RST flip must still hit (flags byte is masked)"
+  | Some e ->
+    Alcotest.(check bool) "RST read at the memoized offset" true
+      (FC.hit_rst e (slice_of b'));
+    check_record "hit record ≡ uncached dissection of the RST frame"
+      (of_slice_at ~ts:1.0 b')
+      (FC.hit_record e ~ts:1.0 ~orig_len:orig (slice_of b'))
+
+(* An adversarial capture for the equivalence properties: few templates
+   (so the cache actually hits), with per-frame payload-length changes,
+   VLAN vid flips (same shape, different bytes inside the prefix) and
+   snapped records mixed in. *)
+let adversarial_pcap seed =
+  let rng = Frame_gen.rng_of_seed seed in
+  let n_templates = 1 + Netcore.Rng.int rng 4 in
+  let stacks = Array.init n_templates (fun _ -> Frame_gen.random_stack rng) in
+  let w = Packet.Pcap.Writer.create () in
+  let events = 30 + Netcore.Rng.int rng 30 in
+  for i = 0 to events - 1 do
+    let stack = stacks.(Netcore.Rng.int rng n_templates) in
+    let stack =
+      if Netcore.Rng.bernoulli rng 0.2 then
+        List.map
+          (function
+            | H.Vlan v -> H.Vlan { v with H.vid = 1 + Netcore.Rng.int rng 4094 }
+            | h -> h)
+          stack
+      else stack
+    in
+    let f = Packet.Frame.make stack ~payload_len:(Netcore.Rng.int rng 200) in
+    let b = Packet.Codec.encode f in
+    let ts = float_of_int i *. 1e-3 in
+    if Netcore.Rng.bernoulli rng 0.15 then
+      let keep = 14 + Netcore.Rng.int rng (Bytes.length b - 14) in
+      Packet.Pcap.Writer.add w ~ts ~orig_len:(Bytes.length b)
+        (Bytes.sub b 0 keep)
+    else Packet.Pcap.Writer.add w ~ts b
+  done;
+  Packet.Pcap.Writer.contents w
+
+let prop_cached_digest_identical =
+  QCheck.Test.make ~count:20
+    ~name:"cached digest ≡ uncached (acaps + flows, pools 1/2/4, bits 1/6)"
+    QCheck.small_int
+    (fun seed ->
+      let buf = adversarial_pcap seed in
+      let acaps = Analysis.Digest.pcap_to_acaps buf in
+      let flows = Analysis.Digest.pcap_to_flows buf in
+      List.for_all
+        (fun size ->
+          Parallel.Pool.with_pool ~size (fun pool ->
+              List.for_all
+                (fun bits ->
+                  Analysis.Digest.pcap_to_acaps ~pool ~cache_bits:bits buf
+                  = acaps
+                  && Analysis.Digest.pcap_to_flows ~pool ~cache_bits:bits buf
+                     = flows)
+                [ 1; 6 ]))
+        [ 1; 2; 4 ])
+
+let prop_record_matches_of_slice =
+  QCheck.Test.make ~count:20
+    ~name:"Flow_cache.record ≡ Acap.of_slice under a thrashing single slot"
+    QCheck.small_int
+    (fun seed ->
+      let buf = adversarial_pcap seed in
+      let idx = Packet.Pcapng.index_any buf in
+      let c = FC.create ~bits:0 in
+      Array.for_all
+        (fun (e : Packet.Pcap.index_entry) ->
+          let s = Packet.Pcap.Reader.slice buf e in
+          FC.record c ~ts:e.Packet.Pcap.ts ~orig_len:e.Packet.Pcap.orig_len s
+          = Acap.of_slice ~ts:e.Packet.Pcap.ts ~orig_len:e.Packet.Pcap.orig_len
+              s)
+        idx)
+
+let suites =
+  [
+    ( "flowcache",
+      [
+        Alcotest.test_case "install then hit" `Quick test_install_then_hit;
+        Alcotest.test_case "single-slot eviction" `Quick
+          test_single_slot_eviction;
+        Alcotest.test_case "collision falls back" `Quick
+          test_collision_falls_back;
+        Alcotest.test_case "truncated never installs" `Quick
+          test_truncated_never_installs;
+        Alcotest.test_case "RST flip still hits" `Quick
+          test_rst_flip_still_hits;
+      ] );
+    ( "flowcache.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_cached_digest_identical; prop_record_matches_of_slice ] );
+  ]

@@ -12,6 +12,7 @@ let () =
          Test_patchwork.suites;
          Test_analysis.suites;
          Test_flowstore.suites;
+         Test_flowcache.suites;
          Test_extra.suites;
          Test_p4.suites;
          Test_formats.suites;
