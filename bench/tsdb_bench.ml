@@ -1,0 +1,238 @@
+(* Telemetry store bench: append/query walls, downsample identity, and
+   the persistence overhead against a real occasion.
+
+   Three claims are asserted (exit 1 on any breach), so CI catches a
+   regression in the telemetry plane:
+
+   - identity: after downsampling compaction, every bucket's
+     count/sum/min/max/last equals a recomputation over the raw points
+     it replaced (same fold order, so bit-equality is expected), and a
+     reopened store answers a range query byte-identically to the
+     handle that wrote it;
+   - bounded append: appending and flushing one occasion's worth of
+     points costs under 2% of the occasion's own wall — persistence
+     must never be the reason to turn telemetry off;
+   - the range query scans segments, not the whole directory into
+     memory: its wall is reported so a drift shows up in the JSON.
+
+   Results land in BENCH_tsdb.json.
+
+   Knobs:
+     PATCHWORK_BENCH_TSDB_POINTS  synthetic points appended (default 200k)
+     PATCHWORK_BENCH_TSDB_SERIES  distinct series spread over (default 64)
+     PATCHWORK_BENCH_HOURS        simulated hours for the occasion (default 1) *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try float_of_string v with _ -> default)
+  | None -> default
+
+let n_points = env_int "PATCHWORK_BENCH_TSDB_POINTS" 200_000
+let n_series = env_int "PATCHWORK_BENCH_TSDB_SERIES" 64
+let hours = env_float "PATCHWORK_BENCH_HOURS" 1.0
+let resolution = 3600.0
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let temp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  rm_rf dir;
+  dir
+
+(* The synthetic workload: [n_series] gauges sampled on a fixed cadence,
+   values from the seeded generator.  Kept as an array so the identity
+   check below can recompute aggregates independently. *)
+let build_points () =
+  let rng = Netcore.Rng.create 7 in
+  let names =
+    Array.init n_series (fun i ->
+        (Printf.sprintf "bench_series_%02d" (i mod 32),
+         if i mod 2 = 0 then [] else [ ("site", Printf.sprintf "S%d" (i / 2)) ]))
+  in
+  Array.init n_points (fun i ->
+      let name, labels = names.(i mod n_series) in
+      let at = 60.0 +. (float_of_int i *. 0.5) in
+      (name, labels, at, Netcore.Rng.float rng *. 100.0))
+
+let () =
+  let module T = Obs.Tsdb in
+  Printf.printf "tsdb bench: %d points over %d series\n%!" n_points n_series;
+  let points = build_points () in
+
+  (* --- append + flush wall over segment-sized batches --- *)
+  let dir = temp_dir "patchwork-tsdb-bench" in
+  let store = T.open_store ~dir () in
+  let (), append_wall =
+    wall (fun () ->
+        Array.iteri
+          (fun i (name, labels, at, v) ->
+            T.append_point store ~name ~labels ~at v;
+            if (i + 1) mod 20_000 = 0 then ignore (T.flush store))
+          points;
+        ignore (T.flush store))
+  in
+  let segments = List.length (T.segments_in_dir dir) in
+  Printf.printf "append: %d points, %d segments, %.3fs (%.0f points/s)\n%!"
+    n_points segments append_wall
+    (float_of_int n_points /. Float.max 1e-9 append_wall);
+
+  (* --- range query (middle half of the time span) --- *)
+  let span_end = 60.0 +. (float_of_int n_points *. 0.5) in
+  let pred = T.predicate ~since:(span_end /. 4.0) ~until:(span_end /. 2.0) () in
+  let ranged, range_wall = wall (fun () -> T.query_store ~pred store) in
+  let ranged_records =
+    List.fold_left (fun acc (_, _, rs) -> acc + List.length rs) 0 ranged
+  in
+  Printf.printf "range query: %d series, %d records, %.3fs\n%!"
+    (List.length ranged) ranged_records range_wall;
+
+  (* --- restart identity: a fresh handle answers the same bytes --- *)
+  let reopened = T.open_store ~dir () in
+  let restart_identical = T.query_store ~pred reopened = ranged in
+  Printf.printf "restart_identical=%b\n%!" restart_identical;
+
+  (* --- downsample identity: compact, then recompute from raw --- *)
+  let ds_dir = temp_dir "patchwork-tsdb-bench-ds" in
+  let ds = T.open_store ~resolution ~dir:ds_dir () in
+  Array.iter
+    (fun (name, labels, at, v) -> T.append_point ds ~name ~labels ~at v)
+    points;
+  ignore (T.flush ds);
+  let (), compact_wall = wall (fun () -> T.compact ds) in
+  let newest =
+    Array.fold_left (fun acc (_, _, at, _) -> Float.max acc at) 0.0 points
+  in
+  (* Raw points grouped per (series, bucket window), in append order —
+     the same order the store's merge feeds its fold. *)
+  let expected = Hashtbl.create 4096 in
+  Array.iter
+    (fun (name, labels, at, v) ->
+      let start = T.bucket_start ~resolution at in
+      if start +. resolution <= newest then begin
+        let key = (name, List.sort compare labels, start) in
+        let count, sum, mn, mx, _, _ =
+          Option.value
+            (Hashtbl.find_opt expected key)
+            ~default:(0, 0.0, infinity, neg_infinity, nan, nan)
+        in
+        Hashtbl.replace expected key
+          (count + 1, sum +. v, Float.min mn v, Float.max mx v, v, at)
+      end)
+    points;
+  let checked = ref 0 in
+  let downsample_identical =
+    List.for_all
+      (fun (name, labels, records) ->
+        List.for_all
+          (fun r ->
+            if T.is_raw r then
+              (* only the still-open tail bucket may stay raw *)
+              T.bucket_start ~resolution r.T.t_at +. resolution > newest
+            else begin
+              incr checked;
+              match Hashtbl.find_opt expected (name, labels, r.T.t_at) with
+              | None -> false
+              | Some (count, sum, mn, mx, last, last_at) ->
+                r.T.t_count = count && r.T.t_sum = sum && r.T.t_min = mn
+                && r.T.t_max = mx && r.T.t_last = last
+                && r.T.t_last_at = last_at
+            end)
+          records)
+      (T.query_store ds)
+  in
+  Printf.printf
+    "downsample: %.3fs compact, %d buckets checked, identical=%b\n%!"
+    compact_wall !checked downsample_identical;
+
+  (* --- persistence overhead vs one real occasion --- *)
+  let seed = 2024 in
+  let start_time = 30.0 *. Netcore.Timebase.day in
+  let report, occasion_wall =
+    wall (fun () ->
+        Parallel.Pool.with_pool ~size:2 @@ fun pool ->
+        let engine = Simcore.Engine.create ~start_time () in
+        let fabric = Testbed.Fablib.create ~seed engine in
+        let driver = Traffic.Driver.create ~pool fabric ~seed in
+        let config =
+          {
+            Patchwork.Config.default with
+            Patchwork.Config.samples_per_run = 4;
+            max_frames_per_sample = 2000;
+            pool_size = Parallel.Pool.size pool;
+          }
+        in
+        Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
+          ~start_time
+          ~duration:(hours *. Netcore.Timebase.hour) ())
+  in
+  (* What the live service persists per occasion: every point the
+     collector derives from the default registry the occasion just
+     filled, appended and flushed as one segment. *)
+  let occ_dir = temp_dir "patchwork-tsdb-bench-occ" in
+  let occ_store = T.open_store ~dir:occ_dir () in
+  let collector = Obs.Series.Collector.create () in
+  ignore
+    (Obs.Series.Collector.collect_points collector ~at:start_time
+       Obs.Registry.default);
+  let at =
+    report.Patchwork.Coordinator.occasion_start
+    +. report.Patchwork.Coordinator.occasion_duration
+  in
+  let occ_points =
+    Obs.Series.Collector.collect_points collector ~at Obs.Registry.default
+  in
+  let flushed, persist_wall =
+    wall (fun () ->
+        List.iter
+          (fun (name, labels, p) ->
+            T.append_point occ_store ~name ~labels ~at:p.Obs.Series.at
+              p.Obs.Series.value)
+          occ_points;
+        T.flush occ_store)
+  in
+  let overhead_pct = 100.0 *. persist_wall /. Float.max 1e-9 occasion_wall in
+  let overhead_ok = overhead_pct < 2.0 in
+  Printf.printf
+    "occasion: %.3fs; persisted %d points in %.6fs (%.3f%% overhead, ok=%b)\n%!"
+    occasion_wall flushed persist_wall overhead_pct overhead_ok;
+
+  let identical = downsample_identical && restart_identical in
+  let oc = open_out "BENCH_tsdb.json" in
+  Printf.fprintf oc
+    {|{
+  "points": %d,
+  "series": %d,
+  "segments": %d,
+  "append": { "wall_s": %.6f, "points_per_s": %.0f },
+  "range_query": { "wall_s": %.6f, "series": %d, "records": %d },
+  "downsample": { "compact_wall_s": %.6f, "buckets_checked": %d, "identical": %b },
+  "restart_identical": %b,
+  "occasion": { "wall_s": %.6f, "points": %d, "persist_wall_s": %.6f, "overhead_pct": %.4f, "overhead_ok": %b },
+  "identical": %b
+}
+|}
+    n_points n_series segments append_wall
+    (float_of_int n_points /. Float.max 1e-9 append_wall)
+    range_wall (List.length ranged) ranged_records compact_wall !checked
+    downsample_identical restart_identical occasion_wall flushed persist_wall
+    overhead_pct overhead_ok identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_tsdb.json\n%!";
+  rm_rf dir;
+  rm_rf ds_dir;
+  rm_rf occ_dir;
+  if not (identical && overhead_ok) then exit 1

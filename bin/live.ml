@@ -48,7 +48,7 @@ let logs_json log req =
                 entries) );
        ])
 
-let routes ~log ~collector ~alerts =
+let routes ?tsdb ~log ~collector ~alerts () =
   let snapshot () = Obs.Registry.snapshot Obs.Registry.default in
   Obs.Http.routes
     [
@@ -64,8 +64,7 @@ let routes ~log ~collector ~alerts =
                ~spans:(Obs.Span.roots Obs.Span.default)
                (snapshot ())
             ^ "\n") );
-      ( "/series.json",
-        fun _ -> json_response (Obs.Series.Collector.to_json collector) );
+      ("/series.json", Obs.Endpoints.series ?tsdb ~collector);
       ("/alerts.json", fun _ -> json_response (Obs.Alerts.to_json alerts));
       ("/logs.json", logs_json log);
       ( "/trace.json",
@@ -88,11 +87,32 @@ type t = {
   alerts : Obs.Alerts.t;
   log : Logging.t;
   hook : Patchwork.Coordinator.hook_handle;
+  tsdb : Obs.Tsdb.t option;
 }
 
-let start ?(rules = default_rules) ?baseline_at ~port ~log () =
+let start ?(rules = default_rules) ?baseline_at ?tsdb ?federation ~port ~log ()
+    =
   let collector = Obs.Series.Collector.create () in
   let alerts = Obs.Alerts.create rules in
+  (* Re-arm from persisted history before anything fresh is collected:
+     replaying the last for-count-many points per series reconstructs
+     firing/consecutive state, so a killed service resumes alerting
+     exactly where an uninterrupted one would be. *)
+  (match tsdb with
+  | Some store ->
+    let deepest =
+      List.fold_left (fun acc r -> max acc r.Obs.Alerts.for_count) 1 rules
+    in
+    let replayed =
+      Obs.Alerts.rearm alerts (Obs.Tsdb.tail_store ~n:(deepest + 1) store)
+    in
+    List.iter
+      (fun e ->
+        Logging.log log ~time:e.Obs.Alerts.ev_at ~level:Logging.Info
+          ~component:"alerts"
+          ("re-armed: " ^ Obs.Alerts.event_to_string e))
+      replayed
+  | None -> ());
   (* Baseline before the first occasion so its deltas become the first
      points rather than vanishing into the baseline. *)
   (match baseline_at with
@@ -104,7 +124,34 @@ let start ?(rules = default_rules) ?baseline_at ~port ~log () =
         report.Patchwork.Coordinator.occasion_start
         +. report.Patchwork.Coordinator.occasion_duration
       in
-      Obs.Series.Collector.collect collector ~at Obs.Registry.default;
+      let local =
+        Obs.Series.Collector.collect_points collector ~at Obs.Registry.default
+      in
+      (* Federation round: pull every per-site endpoint, then merge the
+         site-labelled derived points into the central collector. *)
+      let federated =
+        match federation with
+        | None -> []
+        | Some fed ->
+          let pts = Obs.Federation.scrape fed ~at in
+          List.iter
+            (fun (name, labels, p) ->
+              Obs.Series.Collector.push_point collector ~name ~labels
+                ~at:p.Obs.Series.at p.Obs.Series.value)
+            pts;
+          pts
+      in
+      (* Persist every point collected this occasion; each flush seals
+         one segment, so history survives a kill at any boundary. *)
+      (match tsdb with
+      | Some store ->
+        List.iter
+          (fun (name, labels, p) ->
+            Obs.Tsdb.append_point store ~name ~labels ~at:p.Obs.Series.at
+              p.Obs.Series.value)
+          (local @ federated);
+        ignore (Obs.Tsdb.flush store)
+      | None -> ());
       let events = Obs.Alerts.evaluate alerts ~at collector in
       List.iter
         (fun e ->
@@ -113,13 +160,13 @@ let start ?(rules = default_rules) ?baseline_at ~port ~log () =
         events)
   in
   let server =
-    Obs.Http.create ~port (routes ~log ~collector ~alerts)
+    Obs.Http.create ~port (routes ?tsdb ~log ~collector ~alerts ())
   in
   let bg =
     Parallel.Background.spawn ~name:"metrics-http" (fun () ->
         Obs.Http.run server)
   in
-  { server; bg; collector; alerts; log; hook }
+  { server; bg; collector; alerts; log; hook; tsdb }
 
 let port t = Obs.Http.port t.server
 
@@ -127,6 +174,9 @@ let stop t =
   (* Unhook first: occasions run after stop must not feed the dead
      collector, and repeated start/stop must not accumulate hooks. *)
   Patchwork.Coordinator.remove_hook t.hook;
+  (* A graceful stop seals any buffered history; a kill relies on the
+     unsealed-segment recovery path instead. *)
+  (match t.tsdb with Some store -> ignore (Obs.Tsdb.flush store) | None -> ());
   Obs.Http.stop t.server;
   match Parallel.Background.join t.bg with
   | Ok () -> ()
@@ -245,3 +295,43 @@ let render_live ~port =
             Printf.printf "  %s%s value=%g\n" rule (label_suffix labels) value)
           actives
       | Some _ -> ()))
+
+(* --- the history side: `report --history DIR` --- *)
+
+(* Render trends straight from a store directory, no service needed.
+   Reads the segment files as they are (an unsealed tail left by a
+   killed service is readable; its partial final record is skipped), so
+   this never mutates the store a live service may still own. *)
+let render_history ?since ?until ?name ~dir () =
+  let segments = Obs.Tsdb.segments_in_dir dir in
+  if segments = [] then
+    Printf.printf "no history segments under %s\n" dir
+  else begin
+    let pred = Obs.Tsdb.predicate ?since ?until ?name () in
+    let groups = Obs.Tsdb.query ~pred segments in
+    if groups = [] then print_endline "no series match"
+    else begin
+      Printf.printf "history (%d segment%s):\n" (List.length segments)
+        (if List.length segments = 1 then "" else "s");
+      List.iter
+        (fun (sname, labels, records) ->
+          let s = Obs.Series.create ~name:sname ~labels () in
+          let raw = ref 0 and buckets = ref 0 in
+          List.iter
+            (fun r ->
+              if Obs.Tsdb.is_raw r then incr raw else incr buckets;
+              let at, v = Obs.Tsdb.point_of_record r in
+              Obs.Series.push s ~at v)
+            records;
+          let last =
+            match Obs.Series.last s with
+            | Some p -> Printf.sprintf "%g" p.Obs.Series.value
+            | None -> "-"
+          in
+          Printf.printf "  %-42s %s %s (%d raw, %d buckets)\n"
+            (sname ^ label_suffix labels)
+            (Obs.Series.sparkline ~width:32 s)
+            last !raw !buckets)
+        groups
+    end
+  end

@@ -418,9 +418,46 @@ let weekly_cmd =
     in
     Arg.(value & opt int 200_000 & info [ "spill-threshold" ] ~docv:"N" ~doc)
   in
+  let tsdb =
+    let doc =
+      "Persist every collected telemetry point to an append-only \
+       time-series store under $(docv), one sealed segment per occasion.  \
+       History survives restarts (alerts are re-armed from the stored \
+       tail), /series.json serves it with $(b,?since=)/$(b,?until=), and \
+       $(b,report --history) renders it offline."
+    in
+    Arg.(value & opt (some string) None & info [ "tsdb" ] ~docv:"DIR" ~doc)
+  in
+  let retention =
+    let doc =
+      "With $(b,--tsdb): drop stored records older than $(docv) behind the \
+       newest stored timestamp (e.g. $(b,30d), $(b,12w); default: keep \
+       everything)."
+    in
+    Arg.(value & opt (some string) None & info [ "retention" ] ~docv:"DUR" ~doc)
+  in
+  let downsample =
+    let doc =
+      "With $(b,--tsdb): compact raw points older than the current window \
+       into $(docv)-wide buckets carrying count/sum/min/max/last (e.g. \
+       $(b,1h), $(b,1d); default: keep raw points forever)."
+    in
+    Arg.(value & opt (some string) None & info [ "downsample" ] ~docv:"RES" ~doc)
+  in
+  let scrape =
+    let doc =
+      "Federate a per-site exposition endpoint: scrape \
+       $(b,SITE=HOST:PORT[/path]) after every occasion, rewrite its \
+       samples with a site label, and derive federation-wide series \
+       (plus up{site} / scrape_duration_seconds{site} staleness \
+       tracking).  Repeatable; a dead target is marked up=0 and never \
+       blocks the others."
+    in
+    Arg.(value & opt_all string [] & info [ "scrape" ] ~docv:"TARGET" ~doc)
+  in
   let run seed weeks start_day hours out domains metrics_out metrics_format
       serve_metrics hold alert_rules pipeline pipeline_depth flow_store
-      spill_threshold flow_cache_bits =
+      spill_threshold flow_cache_bits tsdb retention downsample scrape =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
@@ -442,13 +479,55 @@ let weekly_cmd =
     (* One bounded ring log shared across occasions so /logs.json can
        tail the whole service, not just the newest occasion. *)
     let service_log = Patchwork.Logging.create ~capacity:4096 () in
-    let live =
-      match serve_metrics with
+    let service_event ~component msg =
+      Patchwork.Logging.log service_log ~time:(Obs.Clock.now ())
+        ~level:Patchwork.Logging.Warning ~component msg
+    in
+    let duration_of flag = function
       | None -> None
-      | Some port ->
+      | Some s -> (
+        match Netcore.Units.parse_duration s with
+        | Ok v -> Some v
+        | Error msg -> failwith (flag ^ ": " ^ msg))
+    in
+    let tsdb_store =
+      Option.map
+        (fun dir ->
+          Obs.Tsdb.open_store
+            ?retention:(duration_of "--retention" retention)
+            ?resolution:(duration_of "--downsample" downsample)
+            ~log:(service_event ~component:"tsdb") ~dir ())
+        tsdb
+    in
+    let federation =
+      match scrape with
+      | [] -> None
+      | targets ->
+        Some
+          (Obs.Federation.create ~log:(service_event ~component:"federation")
+             (List.map
+                (fun s ->
+                  match Obs.Federation.target_of_string s with
+                  | Ok t -> t
+                  | Error msg -> failwith ("--scrape: " ^ msg))
+                targets))
+    in
+    let live =
+      (* --tsdb / --scrape without --serve-metrics still need the
+         occasion hook (and re-armed alerts): run the service on an
+         ephemeral port without announcing it. *)
+      match (serve_metrics, tsdb_store, federation) with
+      | None, None, None -> None
+      | port, _, _ ->
         let baseline_at = float_of_int start_day *. Netcore.Timebase.day in
-        let l = Live.start ~rules ~baseline_at ~port ~log:service_log () in
-        Printf.printf "serving metrics on http://127.0.0.1:%d\n%!" (Live.port l);
+        let l =
+          Live.start ~rules ~baseline_at ?tsdb:tsdb_store ?federation
+            ~port:(Option.value ~default:0 port)
+            ~log:service_log ()
+        in
+        if port <> None then
+          Printf.printf "serving metrics on http://127.0.0.1:%d\n%!"
+            (Live.port l);
         Some l
     in
     (with_domains domains @@ fun pool ->
@@ -545,7 +624,7 @@ let weekly_cmd =
     | _ -> ());
     print_flow_cache_summary ();
     write_metrics metrics_out metrics_format;
-    match live with
+    (match live with
     | None -> ()
     | Some l ->
       if hold then begin
@@ -553,7 +632,13 @@ let weekly_cmd =
         Live.hold_until_signal ()
       end;
       Live.stop l;
-      Printf.printf "metrics server stopped\n%!"
+      if serve_metrics <> None then Printf.printf "metrics server stopped\n%!");
+    match tsdb_store with
+    | Some store ->
+      Printf.printf "tsdb: %d segments under %s\n%!"
+        (List.length (Obs.Tsdb.segments store))
+        (Obs.Tsdb.dir store)
+    | None -> ()
   in
   let info =
     Cmd.info "weekly"
@@ -564,7 +649,7 @@ let weekly_cmd =
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
       $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
       $ alert_rules $ pipeline $ pipeline_depth $ flow_store $ spill_threshold
-      $ flow_cache_bits_arg)
+      $ flow_cache_bits_arg $ tsdb $ retention $ downsample $ scrape)
 
 (* --- query --- *)
 
@@ -879,10 +964,34 @@ let report_cmd =
     in
     Arg.(value & opt (some int) None & info [ "live" ] ~docv:"PORT" ~doc)
   in
-  let run seed hours site infile live_port domains =
-    match live_port with
-    | Some port -> Live.render_live ~port
-    | None ->
+  let history =
+    let doc =
+      "Render trends from a $(b,weekly --tsdb) store directory (raw \
+       points and downsampled buckets) without needing a running \
+       service."
+    in
+    Arg.(value & opt (some string) None & info [ "history" ] ~docv:"DIR" ~doc)
+  in
+  let hist_since =
+    let doc = "With $(b,--history): keep points at or after $(docv)." in
+    Arg.(value & opt (some float) None & info [ "since" ] ~docv:"T" ~doc)
+  in
+  let hist_until =
+    let doc = "With $(b,--history): keep points at or before $(docv)." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let hist_name =
+    let doc = "With $(b,--history): render only the named series." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"SERIES" ~doc)
+  in
+  let run seed hours site infile live_port history hist_since hist_until
+      hist_name domains =
+    match (live_port, history) with
+    | Some port, _ -> Live.render_live ~port
+    | None, Some dir ->
+      Live.render_history ?since:hist_since ?until:hist_until ?name:hist_name
+        ~dir ()
+    | None, None ->
     let doc =
       match infile with
       | Some path ->
@@ -909,11 +1018,14 @@ let report_cmd =
     Cmd.info "report"
       ~doc:
         "Render the per-occasion span tree and drop/loss attribution from a \
-         metrics snapshot (or from a fresh occasion), or scrape a live \
-         service with $(b,--live)"
+         metrics snapshot (or from a fresh occasion), scrape a live \
+         service with $(b,--live), or render stored telemetry trends \
+         with $(b,--history)"
   in
   Cmd.v info
-    Term.(const run $ seed_arg $ hours $ site $ infile $ live_port $ domains_arg)
+    Term.(
+      const run $ seed_arg $ hours $ site $ infile $ live_port $ history
+      $ hist_since $ hist_until $ hist_name $ domains_arg)
 
 (* --- capacity --- *)
 

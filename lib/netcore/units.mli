@@ -32,6 +32,12 @@ val bps_of_pps : float -> frame_bytes:int -> float
 val ethernet_overhead_bytes : int
 (** Preamble (8) + inter-frame gap (12) + FCS (4). *)
 
+val parse_duration : string -> (float, string) result
+(** Parse a duration to seconds: a positive number with an optional
+    [s]/[m]/[h]/[d]/[w] suffix (["90s"], ["15m"], ["2h"], ["7d"],
+    ["1w"]; no suffix means seconds).  The CLI syntax for telemetry
+    retention and downsample resolution. *)
+
 val pp_rate : Format.formatter -> float -> unit
 (** Prints a bit rate with an adaptive unit, e.g. ["3.97 Tbps"]. *)
 

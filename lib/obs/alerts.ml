@@ -98,6 +98,72 @@ let active_gauge t rule_name labels =
     ~help:"1 while the named alert rule is firing"
     ~labels:(("rule", rule_name) :: labels)
 
+(* Feed one sample of [r]'s series through the consecutive-violation
+   state machine; appends any transition to [events].  Both live
+   evaluation and history replay ({!rearm}) go through here, so a
+   killed-and-restarted service reconstructs the exact pre-kill state. *)
+let step t r labels ~at (p : Series.point) events =
+  let key = (r.rule_name, labels) in
+  let st =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.states key with
+    | Some st -> st
+    | None ->
+      let st =
+        {
+          consecutive = 0;
+          firing = false;
+          last_value = 0.0;
+          since = 0.0;
+          last_at = Float.nan;
+        }
+      in
+      Hashtbl.add t.states key st;
+      st
+  in
+  locked t @@ fun () ->
+  (* A series with no new point since the last evaluate (e.g. a
+     histogram-backed series before the pool runs) must not re-count
+     the same sample toward "for N". *)
+  if p.Series.at = st.last_at then ()
+  else begin
+    st.last_at <- p.Series.at;
+    st.last_value <- p.Series.value;
+    if violates r.op r.threshold p.Series.value then begin
+      st.consecutive <- st.consecutive + 1;
+      if (not st.firing) && st.consecutive >= r.for_count then begin
+        st.firing <- true;
+        st.since <- at;
+        Registry.set (active_gauge t r.rule_name labels) 1.0;
+        events :=
+          {
+            ev_rule = r.rule_name;
+            ev_labels = labels;
+            ev_at = at;
+            ev_value = p.Series.value;
+            ev_transition = Fired;
+          }
+          :: !events
+      end
+    end
+    else begin
+      st.consecutive <- 0;
+      if st.firing then begin
+        st.firing <- false;
+        Registry.set (active_gauge t r.rule_name labels) 0.0;
+        events :=
+          {
+            ev_rule = r.rule_name;
+            ev_labels = labels;
+            ev_at = at;
+            ev_value = p.Series.value;
+            ev_transition = Cleared;
+          }
+          :: !events
+      end
+    end
+  end
+
 let evaluate t ~at collector =
   let rules = rules t in
   let events = ref [] in
@@ -112,70 +178,41 @@ let evaluate t ~at collector =
         (fun s ->
           match Series.last s with
           | None -> ()
-          | Some p ->
-            let labels = Series.labels s in
-            let key = (r.rule_name, labels) in
-            let st =
-              locked t @@ fun () ->
-              match Hashtbl.find_opt t.states key with
-              | Some st -> st
-              | None ->
-                let st =
-                  {
-                    consecutive = 0;
-                    firing = false;
-                    last_value = 0.0;
-                    since = 0.0;
-                    last_at = Float.nan;
-                  }
-                in
-                Hashtbl.add t.states key st;
-                st
-            in
-            locked t @@ fun () ->
-            (* A series with no new point since the last evaluate (e.g.
-               a histogram-backed series before the pool runs) must not
-               re-count the same sample toward "for N". *)
-            if p.Series.at = st.last_at then ()
-            else begin
-            st.last_at <- p.Series.at;
-            st.last_value <- p.Series.value;
-            if violates r.op r.threshold p.Series.value then begin
-              st.consecutive <- st.consecutive + 1;
-              if (not st.firing) && st.consecutive >= r.for_count then begin
-                st.firing <- true;
-                st.since <- at;
-                Registry.set (active_gauge t r.rule_name labels) 1.0;
-                events :=
-                  {
-                    ev_rule = r.rule_name;
-                    ev_labels = labels;
-                    ev_at = at;
-                    ev_value = p.Series.value;
-                    ev_transition = Fired;
-                  }
-                  :: !events
-              end
-            end
-            else begin
-              st.consecutive <- 0;
-              if st.firing then begin
-                st.firing <- false;
-                Registry.set (active_gauge t r.rule_name labels) 0.0;
-                events :=
-                  {
-                    ev_rule = r.rule_name;
-                    ev_labels = labels;
-                    ev_at = at;
-                    ev_value = p.Series.value;
-                    ev_transition = Cleared;
-                  }
-                  :: !events
-              end
-            end
-            end)
+          | Some p -> step t r (Series.labels s) ~at p events)
         matching)
     rules;
+  List.rev !events
+
+(* Replay persisted history (per series, points oldest-first) through
+   the same state machine the live loop uses.  Points are replayed in
+   global timestamp order, one evaluation round per distinct timestamp
+   — exactly the cadence of the live collect-then-evaluate hook, whose
+   evaluation [at] equals the points' own collection timestamp.  The
+   replayed transitions are returned (callers usually discard them:
+   they already fired before the restart); the firing/consecutive
+   state and the [patchwork_alert_active] gauge come out identical to a
+   service that never died. *)
+let rearm t history =
+  let rules = rules t in
+  let samples =
+    List.concat_map
+      (fun (name, labels, pts) ->
+        List.map
+          (fun (at, value) ->
+            (at, name, List.sort compare labels, { Series.at; value }))
+          pts)
+      history
+  in
+  let samples =
+    List.stable_sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) samples
+  in
+  let events = ref [] in
+  List.iter
+    (fun (at, name, labels, p) ->
+      List.iter
+        (fun r -> if String.equal r.series_name name then step t r labels ~at p events)
+        rules)
+    samples;
   List.rev !events
 
 let active t =

@@ -67,6 +67,16 @@ val evaluate : t -> at:float -> Series.Collector.t -> event list
     toward a rule's "for N".  Returns the transitions of this round
     (empty when nothing changed state). *)
 
+val rearm :
+  t -> (string * Registry.labels * (float * float) list) list -> event list
+(** Replay persisted series history — [(name, labels, (at, value)
+    points oldest-first)] per series, e.g. {!Tsdb.tail} output — through
+    the same state machine as {!evaluate}, one round per distinct
+    timestamp.  After [rearm], firing/consecutive state and the
+    [patchwork_alert_active] gauge match a service that never restarted.
+    Returns the replayed transitions; callers normally discard them
+    (they already fired before the restart). *)
+
 val active : t -> (rule * Registry.labels * float) list
 (** Currently-firing (rule, series labels, last value), sorted. *)
 

@@ -124,6 +124,26 @@ let parse_request raw =
       else Ok { meth = String.uppercase_ascii meth; path; query; headers }
     | _ -> Error 400)
 
+(* --- typed query parameters --- *)
+
+let query_param req key = List.assoc_opt key req.query
+
+let float_param req key =
+  match List.assoc_opt key req.query with
+  | None -> Ok None
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok (Some f)
+    | _ -> Error (Printf.sprintf "malformed %s=%S (expected a finite number)" key v))
+
+let int_param req key =
+  match List.assoc_opt key req.query with
+  | None -> Ok None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Ok (Some i)
+    | None -> Error (Printf.sprintf "malformed %s=%S (expected an integer)" key v))
+
 let routes table req =
   if req.meth <> "GET" && req.meth <> "HEAD" then
     response ~status:405 "method not allowed\n"

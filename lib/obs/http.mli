@@ -32,6 +32,15 @@ val parse_request : string -> (request, int) result
     [Error status] is the HTTP status to answer with (400). Pure — unit
     tested without sockets. *)
 
+val query_param : request -> string -> string option
+(** First value of the named query parameter, if present. *)
+
+val float_param : request -> string -> (float option, string) result
+(** [Ok None] when absent, [Ok (Some v)] when a finite number, and
+    [Error why] on malformed input — which handlers answer with 400. *)
+
+val int_param : request -> string -> (int option, string) result
+
 val routes : (string * (request -> response)) list -> request -> response
 (** Exact-path router: unknown paths get 404, methods other than
     GET/HEAD get 405.  (HEAD responses are truncated at write time, so

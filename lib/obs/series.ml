@@ -175,10 +175,21 @@ module Collector = struct
     | Registry.Counter v | Registry.Gauge v -> Some v
     | Registry.Histogram _ -> None
 
-  let collect t ~at reg =
+  (* Append one externally computed point (federation staleness series,
+     history warm-loads) to the named window. *)
+  let push_point t ~name ?(labels = []) ~at value =
+    push (get_series t name labels) ~at value
+
+  let collect_points t ~at reg =
     let snap = Registry.snapshot reg in
     let wall = Clock.now () in
     locked t @@ fun () ->
+    let pushed = ref [] in
+    let record name labels v =
+      let labels = List.sort compare labels in
+      push (get_series t name labels) ~at v;
+      pushed := (name, labels, { at; value = v }) :: !pushed
+    in
     let delta name labels =
       let key = (name, List.sort compare labels) in
       let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.prev key) in
@@ -212,14 +223,12 @@ module Collector = struct
             +. delta "capture_host_dropped_frames_total" l
           in
           let v = if offered > 0.0 then dropped /. offered else 0.0 in
-          push (get_series t "site_drop_rate" l) ~at v)
+          record "site_drop_rate" l v)
         (List.sort_uniq compare sites);
       (* Captured bytes per second of the caller's time axis. *)
       (match Hashtbl.find_opt t.prev ("__at", []) with
       | Some prev_at when at > prev_at ->
-        push
-          (get_series t "captured_bytes_per_s" [])
-          ~at
+        record "captured_bytes_per_s" []
           (delta "capture_stored_bytes_total" [] /. (at -. prev_at))
       | _ -> ());
       (* Pool busy fraction over the wall-clock delta. *)
@@ -243,27 +252,20 @@ module Collector = struct
         in
         let wall_dt = wall -. t.prev_wall in
         if wall_dt > 0.0 then
-          push
-            (get_series t "pool_busy_fraction" [])
-            ~at
+          record "pool_busy_fraction" []
             (Float.min 1.0
                (busy /. (wall_dt *. float_of_int (List.length domains)))));
       (* Occasion outcome counts (the Fig.-10 series, per collect). *)
       List.iter
         (fun outcome ->
           let l = [ ("outcome", outcome) ] in
-          push
-            (get_series t "occasion_outcome_count" l)
-            ~at
-            (delta "occasion_sites_total" l))
+          record "occasion_outcome_count" l (delta "occasion_sites_total" l))
         [ "success"; "degraded"; "failed"; "incomplete" ];
       (* Flow-cache hit rate over this round's digest lookups. *)
       let cache_hits = delta "flow_cache_hits_total" [] in
       let cache_misses = delta "flow_cache_misses_total" [] in
       if cache_hits +. cache_misses > 0.0 then
-        push
-          (get_series t "flow_cache_hit_rate" [])
-          ~at
+        record "flow_cache_hit_rate" []
           (cache_hits /. (cache_hits +. cache_misses));
       (* Queue-wait p99 from the delta histogram. *)
       let qw_key = ("pool_queue_wait_seconds", []) in
@@ -292,7 +294,7 @@ module Collector = struct
             bins
         in
         let v = Option.value ~default:0.0 (quantile_of_bins 0.99 deltas) in
-        push (get_series t "pool_queue_wait_p99" []) ~at v)
+        record "pool_queue_wait_p99" [] v)
     end;
     (* Refresh the baseline for the next collect. *)
     Hashtbl.reset t.prev;
@@ -309,8 +311,10 @@ module Collector = struct
       snap;
     Hashtbl.replace t.prev ("__at", []) at;
     t.prev_wall <- wall;
-    t.rounds <- t.rounds + 1
+    t.rounds <- t.rounds + 1;
+    List.rev !pushed
 
+  let collect t ~at reg = ignore (collect_points t ~at reg)
   let collections t = locked t (fun () -> t.rounds)
 
   let series t =

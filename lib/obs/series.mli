@@ -79,6 +79,18 @@ module Collector : sig
 
   val collect : t -> at:float -> Registry.t -> unit
 
+  val collect_points :
+    t -> at:float -> Registry.t -> (string * Registry.labels * point) list
+  (** Like {!collect}, but returns every point this round pushed (name,
+      sorted labels, point) — the hand-off a persistence layer appends
+      to durable storage. *)
+
+  val push_point :
+    t -> name:string -> ?labels:Registry.labels -> at:float -> float -> unit
+  (** Append one externally computed point to the named window (creating
+      it on first use) — e.g. federation staleness series, or history
+      replayed from the on-disk store after a restart. *)
+
   val collections : t -> int
   (** Number of [collect] calls so far (including the baseline). *)
 

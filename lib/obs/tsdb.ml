@@ -1,0 +1,780 @@
+(* On-disk time-series store: sorted binary segments + k-way-merge query.
+
+   The rolling [Series] windows are capacity-bounded RAM: a service
+   restart erases all history and a long run evicts its own past.  The
+   Tsdb makes telemetry durable with the segment idiom the flow store
+   established: append-only sorted segment files, magic/version header,
+   [Corrupt] on any validation failure, and bounded-memory reads by a
+   k-way merge holding one record per segment in flight.
+
+   One record is either a raw point (the very float pushed into a
+   series) or a downsampled bucket carrying count/sum/min/max/last for
+   an aligned [res]-second window — enough to answer rate, averages and
+   sparklines from history long after the raw points were compacted
+   away.  Folding raw points into a bucket adds their values
+   left-to-right in timestamp order, so for the monotone appends our
+   collectors produce the folded count/sum/min/max are bit-identical
+   to recomputing from the raw points the bucket replaced, no matter
+   where compactions (or kills and restarts) fell between appends. *)
+
+type record = {
+  t_name : string;
+  t_labels : Registry.labels; (* canonically sorted *)
+  t_at : float; (* raw timestamp, or bucket start *)
+  t_res : float; (* 0 = raw point; else the bucket width, seconds *)
+  t_count : int;
+  t_sum : float;
+  t_min : float;
+  t_max : float;
+  t_last : float;
+  t_last_at : float;
+}
+
+exception Corrupt of string
+
+let corrupt path fmt =
+  Printf.ksprintf (fun msg -> raise (Corrupt (path ^ ": " ^ msg))) fmt
+
+let raw_point ~name ?(labels = []) ~at value =
+  {
+    t_name = name;
+    t_labels = List.sort compare labels;
+    t_at = at;
+    t_res = 0.0;
+    t_count = 1;
+    t_sum = value;
+    t_min = value;
+    t_max = value;
+    t_last = value;
+    t_last_at = at;
+  }
+
+let is_raw r = r.t_res = 0.0
+
+(* The value a record contributes to a rendered series: a raw point is
+   itself; a bucket stands in with its last raw point. *)
+let point_of_record r = (r.t_last_at, r.t_last)
+
+(* A record's time extent, used by predicates and retention. *)
+let record_end r = if is_raw r then r.t_at else r.t_at +. r.t_res
+
+(* Total order: series first, then time, raw before any bucket that
+   starts at the same instant. *)
+let compare_record a b =
+  match compare a.t_name b.t_name with
+  | 0 -> (
+    match compare a.t_labels b.t_labels with
+    | 0 -> (
+      match compare a.t_at b.t_at with 0 -> compare a.t_res b.t_res | c -> c)
+    | c -> c)
+  | c -> c
+
+(* --- observability ------------------------------------------------- *)
+
+let obs_segments_written =
+  Registry.counter Registry.default "tsdb_segments_written_total"
+    ~help:"Time-series segment files written (flushes + compactions)"
+
+let obs_points_written =
+  Registry.counter Registry.default "tsdb_records_written_total"
+    ~help:"Time-series records written to segment files"
+
+let obs_records_scanned =
+  Registry.counter Registry.default "tsdb_records_scanned_total"
+    ~help:"Time-series records read from segments by queries"
+
+let obs_queries =
+  Registry.counter Registry.default "tsdb_queries_total"
+    ~help:"Range queries answered over stored segments"
+
+let obs_compactions =
+  Registry.counter Registry.default "tsdb_compactions_total"
+    ~help:"Segment compactions (retention + downsampling rewrites)"
+
+let obs_points_downsampled =
+  Registry.counter Registry.default "tsdb_records_downsampled_total"
+    ~help:"Raw points folded into downsampled buckets by compactions"
+
+let obs_recovered_segments =
+  Registry.counter Registry.default "tsdb_recovered_segments_total"
+    ~help:"Unsealed segments recovered (partial tail records dropped) at open"
+
+(* --- segment format ------------------------------------------------ *)
+
+(* Header: "PWTS" magic, u16 version, u32 record count (0xFFFFFFFF
+   while the segment is still being streamed; back-patched on seal).
+   Record: u16 name_len, name, u8 n_labels, per label u16 klen, key,
+   u16 vlen, value; u8 kind; then for kind 0 (raw) f64 at, f64 value
+   and for kind 1 (bucket) f64 bucket_start, f64 res, u32 count,
+   f64 sum, f64 min, f64 max, f64 last, f64 last_at.  Everything
+   little-endian. *)
+
+let magic = "PWTS"
+let version = 1
+let header_len = 10
+let unsealed_marker = 0xFFFFFFFF
+
+module Segment = struct
+  let add_record buf (r : record) =
+    let add_str s =
+      if String.length s > 0xFFFF then
+        invalid_arg "Obs.Tsdb: name/label longer than 65535 bytes";
+      Buffer.add_uint16_le buf (String.length s);
+      Buffer.add_string buf s
+    in
+    add_str r.t_name;
+    if List.length r.t_labels > 0xFF then
+      invalid_arg "Obs.Tsdb: more than 255 labels";
+    Buffer.add_uint8 buf (List.length r.t_labels);
+    List.iter
+      (fun (k, v) ->
+        add_str k;
+        add_str v)
+      r.t_labels;
+    if is_raw r then begin
+      Buffer.add_uint8 buf 0;
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_at);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_sum)
+    end
+    else begin
+      Buffer.add_uint8 buf 1;
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_at);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_res);
+      Buffer.add_int32_le buf (Int32.of_int r.t_count);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_sum);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_min);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_max);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_last);
+      Buffer.add_int64_le buf (Int64.bits_of_float r.t_last_at)
+    end
+
+  (* Stream [records] (sorted first) into [path]: header carries the
+     unsealed marker while records are written, then the real count is
+     back-patched.  A crash mid-write therefore leaves an unsealed
+     segment whose complete prefix of records is still recoverable. *)
+  let write path records =
+    let records = List.sort compare_record records in
+    let oc = open_out_bin path in
+    let count = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let b = Buffer.create 65536 in
+        Buffer.add_string b magic;
+        Buffer.add_uint16_le b version;
+        Buffer.add_int32_le b (Int32.of_int unsealed_marker);
+        List.iter
+          (fun r ->
+            add_record b r;
+            incr count)
+          records;
+        Buffer.output_buffer oc b;
+        flush oc;
+        (* Seal: back-patch the record count. *)
+        seek_out oc 6;
+        let b = Buffer.create 4 in
+        Buffer.add_int32_le b (Int32.of_int !count);
+        Buffer.output_buffer oc b);
+    !count
+
+  type reader = {
+    path : string;
+    ic : in_channel;
+    sealed_count : int option; (* None while unsealed: read to EOF *)
+    mutable read : int;
+    mutable prev : record option; (* sortedness check *)
+    mutable dropped_partial : bool;
+    mutable closed : bool;
+  }
+
+  exception Partial_tail
+
+  let read_exact r n what =
+    let b = Bytes.create n in
+    (try really_input r.ic b 0 n
+     with End_of_file -> (
+       match r.sealed_count with
+       | Some count ->
+         corrupt r.path "truncated segment: %s cut short at record %d/%d" what
+           (r.read + 1) count
+       | None ->
+         (* A kill mid-append leaves a partial final record on the
+            unsealed tail segment; it never made it to the store, so
+            drop it rather than refuse the whole segment. *)
+         raise Partial_tail));
+    b
+
+  let open_reader path =
+    let ic =
+      try open_in_bin path
+      with Sys_error msg -> raise (Corrupt (path ^ ": " ^ msg))
+    in
+    let header = Bytes.create header_len in
+    (try really_input ic header 0 header_len
+     with End_of_file ->
+       let len = in_channel_length ic in
+       close_in_noerr ic;
+       corrupt path "truncated segment: %d-byte file is shorter than the header"
+         len);
+    let sealed_count =
+      try
+        if Bytes.sub_string header 0 4 <> magic then
+          corrupt path "bad magic (not a Patchwork time-series segment)";
+        let v = Bytes.get_uint16_le header 4 in
+        if v <> version then corrupt path "unsupported segment version %d" v;
+        let c = Int32.to_int (Bytes.get_int32_le header 6) land 0xFFFFFFFF in
+        if c = unsealed_marker then None
+        else if c > Sys.max_string_length then
+          corrupt path "implausible record count %d" c
+        else Some c
+      with e ->
+        close_in_noerr ic;
+        raise e
+    in
+    {
+      path;
+      ic;
+      sealed_count;
+      read = 0;
+      prev = None;
+      dropped_partial = false;
+      closed = false;
+    }
+
+  let sealed r = r.sealed_count <> None
+  let recovered_partial r = r.dropped_partial
+
+  let close r =
+    if not r.closed then begin
+      r.closed <- true;
+      close_in_noerr r.ic
+    end
+
+  let at_end r =
+    match r.sealed_count with
+    | Some count -> r.read >= count
+    | None -> false (* unsealed: the EOF decides *)
+
+  let next r =
+    if r.closed then None
+    else if at_end r then begin
+      (match input_char r.ic with
+      | _ ->
+        corrupt r.path "trailing garbage after %d records" r.read
+      | exception End_of_file -> ());
+      close r;
+      None
+    end
+    else begin
+      match
+        let str what =
+          let len = Bytes.get_uint16_le (read_exact r 2 (what ^ " length")) 0 in
+          Bytes.to_string (read_exact r len what)
+        in
+        let name = str "series name" in
+        let n_labels = Bytes.get_uint8 (read_exact r 1 "label count") 0 in
+        let labels =
+          List.init n_labels (fun _ ->
+              let k = str "label key" in
+              let v = str "label value" in
+              (k, v))
+        in
+        let kind = Bytes.get_uint8 (read_exact r 1 "record kind") 0 in
+        match kind with
+        | 0 ->
+          let fixed = read_exact r 16 "raw point" in
+          let at = Int64.float_of_bits (Bytes.get_int64_le fixed 0) in
+          let value = Int64.float_of_bits (Bytes.get_int64_le fixed 8) in
+          {
+            t_name = name;
+            t_labels = labels;
+            t_at = at;
+            t_res = 0.0;
+            t_count = 1;
+            t_sum = value;
+            t_min = value;
+            t_max = value;
+            t_last = value;
+            t_last_at = at;
+          }
+        | 1 ->
+          let fixed = read_exact r 60 "bucket body" in
+          let f64 off = Int64.float_of_bits (Bytes.get_int64_le fixed off) in
+          {
+            t_name = name;
+            t_labels = labels;
+            t_at = f64 0;
+            t_res = f64 8;
+            t_count = Int32.to_int (Bytes.get_int32_le fixed 16);
+            t_sum = f64 20;
+            t_min = f64 28;
+            t_max = f64 36;
+            t_last = f64 44;
+            t_last_at = f64 52;
+          }
+        | k -> corrupt r.path "invalid record kind 0x%02x at record %d" k (r.read + 1)
+      with
+      | exception Partial_tail ->
+        r.dropped_partial <- true;
+        close r;
+        None
+      | rec_ ->
+        if List.sort compare rec_.t_labels <> rec_.t_labels then
+          corrupt r.path "labels not sorted at record %d" (r.read + 1);
+        if rec_.t_res > 0.0 then begin
+          if rec_.t_count < 1 then
+            corrupt r.path "bucket with count %d at record %d" rec_.t_count
+              (r.read + 1);
+          if rec_.t_min > rec_.t_max then
+            corrupt r.path "bucket with min > max at record %d" (r.read + 1)
+        end
+        else if rec_.t_res < 0.0 then
+          corrupt r.path "negative resolution at record %d" (r.read + 1);
+        (* Ties are legal: two sources may report the same series at the
+           same instant (e.g. a local and a federated aggregate), and
+           the writer's sort keeps such duplicates adjacent.  Only an
+           actual inversion is corruption. *)
+        (match r.prev with
+        | Some prev when compare_record prev rec_ > 0 ->
+          corrupt r.path "segment not sorted at record %d (%s before %s)"
+            (r.read + 1) prev.t_name rec_.t_name
+        | _ -> ());
+        r.prev <- Some rec_;
+        r.read <- r.read + 1;
+        Some rec_
+    end
+
+  let read_all path =
+    match
+      let r = open_reader path in
+      Fun.protect
+        ~finally:(fun () -> close r)
+        (fun () ->
+          let rec go acc =
+            match next r with None -> List.rev acc | Some x -> go (x :: acc)
+          in
+          let records = go [] in
+          (records, r.dropped_partial))
+    with
+    | result -> Ok result
+    | exception Corrupt msg -> Error msg
+end
+
+(* --- k-way merge --------------------------------------------------- *)
+
+(* Min-heap over open readers ordered by each reader's head record;
+   equal records tie-break on reader index so the merge is a stable,
+   deterministic interleave whatever the heap's internal layout. *)
+module Heap = struct
+  type entry = { mutable head : record; reader : Segment.reader; index : int }
+  type t = { a : entry array; mutable n : int }
+
+  let lt x y =
+    match compare_record x.head y.head with
+    | 0 -> x.index < y.index
+    | c -> c < 0
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < h.n && lt h.a.(l) h.a.(!m) then m := l;
+    if r < h.n && lt h.a.(r) h.a.(!m) then m := r;
+    if !m <> i then begin
+      let tmp = h.a.(i) in
+      h.a.(i) <- h.a.(!m);
+      h.a.(!m) <- tmp;
+      sift_down h !m
+    end
+
+  let of_list entries =
+    let a = Array.of_list entries in
+    let h = { a; n = Array.length a } in
+    for i = (h.n / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let advance_min h =
+    match Segment.next h.a.(0).reader with
+    | Some r ->
+      h.a.(0).head <- r;
+      sift_down h 0
+    | None ->
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        sift_down h 0
+      end
+end
+
+(* Stream every record of [paths] in global (series, time) order. *)
+let scan paths f =
+  let readers = List.map Segment.open_reader paths in
+  Fun.protect
+    ~finally:(fun () -> List.iter Segment.close readers)
+    (fun () ->
+      let heap =
+        Heap.of_list
+          (List.mapi (fun index r -> (index, r)) readers
+          |> List.filter_map (fun (index, r) ->
+                 match Segment.next r with
+                 | Some head -> Some { Heap.head; reader = r; index }
+                 | None -> None))
+      in
+      let scanned = ref 0 in
+      let rec go () =
+        match Heap.peek heap with
+        | None -> !scanned
+        | Some e ->
+          incr scanned;
+          f e.Heap.head;
+          Heap.advance_min heap;
+          go ()
+      in
+      go ())
+
+(* --- predicates ---------------------------------------------------- *)
+
+type predicate = {
+  q_since : float option;
+  q_until : float option;
+  q_name : string option;
+  q_labels : Registry.labels; (* all pairs must be present *)
+}
+
+let no_predicate = { q_since = None; q_until = None; q_name = None; q_labels = [] }
+
+let predicate ?since ?until ?name ?(labels = []) () =
+  { q_since = since; q_until = until; q_name = name; q_labels = labels }
+
+let matches p (r : record) =
+  (match p.q_name with None -> true | Some n -> String.equal n r.t_name)
+  && List.for_all
+       (fun (k, v) ->
+         match List.assoc_opt k r.t_labels with
+         | Some v' -> String.equal v v'
+         | None -> false)
+       p.q_labels
+  && (match p.q_since with None -> true | Some t -> record_end r >= t)
+  && match p.q_until with None -> true | Some t -> r.t_at <= t
+
+(* --- store handle -------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let segments_in_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pwts")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+type t = {
+  dir : string;
+  retention : float option;
+  resolution : float option;
+  compact_every : int;
+  lock : Mutex.t;
+  mutable buf : record list; (* reversed arrival order; flush sorts *)
+  mutable buffered : int;
+  mutable seg_index : int;
+  mutable recovered : int; (* unsealed segments repaired at open *)
+}
+
+let index_of_path path =
+  (* tsdb-NNNNNN.pwts; foreign names count as index -1. *)
+  let base = Filename.remove_extension (Filename.basename path) in
+  match String.rindex_opt base '-' with
+  | None -> -1
+  | Some i -> (
+    match
+      int_of_string_opt (String.sub base (i + 1) (String.length base - i - 1))
+    with
+    | Some n -> n
+    | None -> -1)
+
+(* Open (or create) a store directory.  Unsealed segments left behind by
+   a killed writer are recovered in place: their complete record prefix
+   is rewritten as a sealed segment and any partial tail record is
+   dropped. *)
+let open_store ?retention ?resolution ?(compact_every = 2) ?log ~dir () =
+  (match retention with
+  | Some r when r <= 0.0 -> invalid_arg "Obs.Tsdb.open_store: retention <= 0"
+  | _ -> ());
+  (match resolution with
+  | Some r when r <= 0.0 -> invalid_arg "Obs.Tsdb.open_store: resolution <= 0"
+  | _ -> ());
+  if compact_every < 2 then
+    invalid_arg "Obs.Tsdb.open_store: compact_every must be >= 2";
+  mkdir_p dir;
+  let recovered = ref 0 in
+  List.iter
+    (fun path ->
+      let reader = Segment.open_reader path in
+      let was_sealed = Segment.sealed reader in
+      let records, dropped =
+        Fun.protect
+          ~finally:(fun () -> Segment.close reader)
+          (fun () ->
+            let rec go acc =
+              match Segment.next reader with
+              | None -> List.rev acc
+              | Some r -> go (r :: acc)
+            in
+            let records = go [] in
+            (records, Segment.recovered_partial reader))
+      in
+      if not was_sealed then begin
+        ignore (Segment.write path records);
+        incr recovered;
+        if Registry.enabled () then Registry.incr obs_recovered_segments;
+        match log with
+        | Some f ->
+          f
+            (Printf.sprintf "recovered unsealed segment %s (%d records%s)" path
+               (List.length records)
+               (if dropped then ", partial tail record dropped" else ""))
+        | None -> ()
+      end)
+    (segments_in_dir dir);
+  let seg_index =
+    List.fold_left
+      (fun acc p -> max acc (index_of_path p + 1))
+      0 (segments_in_dir dir)
+  in
+  {
+    dir;
+    retention;
+    resolution;
+    compact_every;
+    lock = Mutex.create ();
+    buf = [];
+    buffered = 0;
+    seg_index;
+    recovered = !recovered;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let dir t = t.dir
+let recovered_segments t = t.recovered
+let segments t = segments_in_dir t.dir
+let buffered t = locked t (fun () -> t.buffered)
+
+let append t records =
+  locked t @@ fun () ->
+  List.iter
+    (fun r ->
+      if r.t_count < 1 then invalid_arg "Obs.Tsdb.append: record count < 1";
+      t.buf <- r :: t.buf;
+      t.buffered <- t.buffered + 1)
+    records
+
+let append_point t ~name ?(labels = []) ~at value =
+  append t [ raw_point ~name ~labels ~at value ]
+
+(* --- downsampling compaction --------------------------------------- *)
+
+let bucket_start ~resolution at = Float.of_int (int_of_float (Float.floor (at /. resolution))) *. resolution
+
+(* Fold [b] (later in merge order) into [a]; both cover the same
+   series.  Values are added in arrival order, which for monotone
+   appends is timestamp order — the same order a recomputation over the
+   raw points would use. *)
+let absorb a b =
+  {
+    a with
+    t_count = a.t_count + b.t_count;
+    t_sum = a.t_sum +. b.t_sum;
+    t_min = Float.min a.t_min b.t_min;
+    t_max = Float.max a.t_max b.t_max;
+    t_last = (if b.t_last_at >= a.t_last_at then b.t_last else a.t_last);
+    t_last_at = Float.max a.t_last_at b.t_last_at;
+  }
+
+(* Merge every segment into one, applying retention and downsampling.
+   Both cutoffs derive from the newest timestamp stored — never the
+   wall clock — so compaction is a pure function of the store's
+   contents and a killed-and-resumed service converges on the same
+   bytes as an uninterrupted one.
+
+   Downsampling folds a raw point into its aligned bucket only once the
+   bucket has completely passed (bucket end <= newest): with monotone
+   appends no later point can land in a folded bucket, so a bucket's
+   aggregates are final the moment they are formed. *)
+let compact t =
+  Span.timed ~stage:"tsdb.compact" @@ fun () ->
+  locked t @@ fun () ->
+  let paths = segments_in_dir t.dir in
+  if paths <> [] then begin
+    (* Pass 1: the newest timestamp (bounded memory: running max). *)
+    let newest = ref neg_infinity in
+    let _ =
+      scan paths (fun r -> if record_end r > !newest then newest := record_end r)
+    in
+    let keep r =
+      match t.retention with
+      | None -> true
+      | Some ret -> record_end r >= !newest -. ret
+    in
+    let fold_cutoff = !newest in
+    (* Pass 2: merge into one segment, folding complete buckets.  The
+       merge yields records per series in time order, so one pending
+       bucket per series is the whole folding state. *)
+    let out = ref [] in
+    let pending = ref None in
+    let emit () =
+      match !pending with
+      | Some r ->
+        pending := None;
+        out := r :: !out
+      | None -> ()
+    in
+    let on_record r =
+      if keep r then begin
+        match t.resolution with
+        | None -> out := r :: !out
+        | Some res ->
+          let foldable cand =
+            (* Raw points in a fully passed bucket, or buckets of the
+               same resolution (re-folding earlier compactions). *)
+            if is_raw cand then
+              bucket_start ~resolution:res cand.t_at +. res <= fold_cutoff
+            else cand.t_res = res
+          in
+          if not (foldable r) then begin
+            emit ();
+            out := r :: !out
+          end
+          else begin
+            let start =
+              if is_raw r then bucket_start ~resolution:res r.t_at else r.t_at
+            in
+            let as_bucket = { r with t_at = start; t_res = res } in
+            match !pending with
+            | Some p
+              when String.equal p.t_name r.t_name
+                   && p.t_labels = r.t_labels && p.t_at = start ->
+              if Registry.enabled () && is_raw r then
+                Registry.incr obs_points_downsampled;
+              pending := Some (absorb p as_bucket)
+            | _ ->
+              emit ();
+              if Registry.enabled () && is_raw r then
+                Registry.incr obs_points_downsampled;
+              pending := Some as_bucket
+          end
+      end
+    in
+    let _scanned = scan paths on_record in
+    emit ();
+    let records = List.rev !out in
+    let path =
+      Filename.concat t.dir (Printf.sprintf "tsdb-%06d.pwts" t.seg_index)
+    in
+    t.seg_index <- t.seg_index + 1;
+    let count = Segment.write path records in
+    List.iter Sys.remove paths;
+    if Registry.enabled () then begin
+      Registry.incr obs_compactions;
+      Registry.incr obs_segments_written;
+      Registry.inc obs_points_written (float_of_int count)
+    end
+  end
+
+(* Write the buffered records as one new sealed segment, then compact
+   when the store has accumulated enough segments (or needs retention /
+   downsampling applied).  Returns the number of records flushed. *)
+let flush t =
+  let n, needs_compact =
+    locked t @@ fun () ->
+    if t.buffered = 0 then (0, false)
+    else begin
+      Span.timed ~stage:"tsdb.flush" @@ fun () ->
+      let path =
+        Filename.concat t.dir (Printf.sprintf "tsdb-%06d.pwts" t.seg_index)
+      in
+      t.seg_index <- t.seg_index + 1;
+      let count = Segment.write path t.buf in
+      if Registry.enabled () then begin
+        Registry.incr obs_segments_written;
+        Registry.inc obs_points_written (float_of_int count)
+      end;
+      t.buf <- [];
+      t.buffered <- 0;
+      let wants_rewrite = t.retention <> None || t.resolution <> None in
+      ( count,
+        wants_rewrite
+        && List.length (segments_in_dir t.dir) >= t.compact_every )
+    end
+  in
+  if needs_compact then compact t;
+  n
+
+(* --- range queries ------------------------------------------------- *)
+
+(* Bounded-memory streaming fold over matching records in (series,
+   time) order: the in-flight state is one record per segment. *)
+let fold ?(pred = no_predicate) ~init ~f paths =
+  Span.timed ~stage:"tsdb.query" @@ fun () ->
+  let acc = ref init in
+  let scanned = scan paths (fun r -> if matches pred r then acc := f !acc r) in
+  if Registry.enabled () then begin
+    Registry.incr obs_queries;
+    Registry.inc obs_records_scanned (float_of_int scanned)
+  end;
+  !acc
+
+(* Matching records grouped per series, series in canonical order. *)
+let query ?(pred = no_predicate) paths =
+  let groups =
+    fold ~pred paths ~init:[] ~f:(fun acc r ->
+        match acc with
+        | (name, labels, records) :: rest
+          when String.equal name r.t_name && labels = r.t_labels ->
+          (name, labels, r :: records) :: rest
+        | _ -> (r.t_name, r.t_labels, [ r ]) :: acc)
+  in
+  List.rev_map (fun (name, labels, records) -> (name, labels, List.rev records)) groups
+
+(* Store-level query: holds the store lock for the whole scan so a
+   concurrent flush/compact (which deletes merged-away segment files)
+   cannot yank segments out from under the reader. *)
+let query_store ?pred t =
+  locked t (fun () -> query ?pred (segments_in_dir t.dir))
+
+(* The last [n] rendered points per series — the tail a restarted
+   service re-arms its alerts (and warms its memory windows) from. *)
+let tail ?(pred = no_predicate) ~n paths =
+  if n < 1 then invalid_arg "Obs.Tsdb.tail: n must be >= 1";
+  let keep_last tail_pts p =
+    (* tail_pts is newest-first and at most n long. *)
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    take n (p :: tail_pts)
+  in
+  let groups =
+    fold ~pred paths ~init:[] ~f:(fun acc r ->
+        let p = point_of_record r in
+        match acc with
+        | (name, labels, pts) :: rest
+          when String.equal name r.t_name && labels = r.t_labels ->
+          (name, labels, keep_last pts p) :: rest
+        | _ -> (r.t_name, r.t_labels, [ p ]) :: acc)
+  in
+  List.rev_map (fun (name, labels, pts) -> (name, labels, List.rev pts)) groups
+
+let tail_store ?pred ~n t =
+  locked t (fun () -> tail ?pred ~n (segments_in_dir t.dir))

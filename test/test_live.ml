@@ -77,11 +77,17 @@ let test_http_socket_smoke () =
   Registry.inc
     (Registry.counter reg "smoke_total" ~labels:[ ("site", "STAR") ])
     1.0;
+  let collector = Series.Collector.create () in
+  Series.Collector.push_point collector ~name:"smoke_rate" ~at:100.0 1.0;
+  Series.Collector.push_point collector ~name:"smoke_rate" ~at:200.0 2.0;
+  Series.Collector.push_point collector ~name:"other"
+    ~labels:[ ("site", "STAR") ] ~at:200.0 9.0;
   let handler =
     Http.routes
       [
         ( "/metrics",
           fun _ -> Http.response (Export.to_prometheus (Registry.snapshot reg)) );
+        ("/series.json", fun req -> Obs.Endpoints.series ~collector req);
       ]
   in
   let server = Http.create ~port:0 handler in
@@ -105,6 +111,33 @@ let test_http_socket_smoke () =
         | Ok lines ->
           Alcotest.(check bool) "scraped value" true
             (List.mem ("smoke_total", [ ("site", "STAR") ], 1.0) lines)));
+      (* /series.json filtering over the socket, through the same
+         handler the weekly service mounts. *)
+      (match Http.get ~port "/series.json?since=150&name=smoke_rate" with
+      | Error msg -> Alcotest.fail ("get /series.json: " ^ msg)
+      | Ok (status, body) -> (
+        Alcotest.(check int) "series 200" 200 status;
+        match Export.Json.parse body with
+        | Error msg -> Alcotest.fail ("series body unparseable: " ^ msg)
+        | Ok doc ->
+          let has sub =
+            let n = String.length body and k = String.length sub in
+            let rec go i = i + k <= n && (String.sub body i k = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "filtered series present" true
+            (has "smoke_rate" && has "\"at\":200");
+          Alcotest.(check bool) "since filter applied" false (has "\"at\":100");
+          Alcotest.(check bool) "name filter applied" false (has "other");
+          Alcotest.(check bool) "parses as an object" true
+            (Export.Json.member "series" doc <> None)));
+      (* Malformed query parameters are 400s, not crashes. *)
+      (match Http.get ~port "/series.json?since=abc" with
+      | Ok (status, _) -> Alcotest.(check int) "malformed since" 400 status
+      | Error msg -> Alcotest.fail msg);
+      (match Http.get ~port "/series.json?label=oops" with
+      | Ok (status, _) -> Alcotest.(check int) "malformed label" 400 status
+      | Error msg -> Alcotest.fail msg);
       (* Unknown path. *)
       (match Http.get ~port "/nope" with
       | Ok (status, _) -> Alcotest.(check int) "404" 404 status

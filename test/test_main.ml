@@ -21,5 +21,6 @@ let () =
          Test_parallel.suites;
          Test_obs.suites;
          Test_live.suites;
+         Test_tsdb.suites;
          Test_pipeline.suites;
        ])

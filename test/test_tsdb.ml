@@ -1,0 +1,793 @@
+(* The persistent telemetry store and the federated scrape plane:
+   segment wire format (pinned by an independent encoder), corruption
+   rejection, truncated-tail recovery, downsampling identity against
+   raw recomputation, kill-and-resume determinism, alert re-arming,
+   and the filterable /series.json endpoint. *)
+
+module T = Obs.Tsdb
+module Registry = Obs.Registry
+module Series = Obs.Series
+module Alerts = Obs.Alerts
+module Http = Obs.Http
+module Clock = Obs.Clock
+module Fed = Obs.Federation
+module J = Obs.Export.Json
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "patchwork_tsdb" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun x -> Sys.remove (Filename.concat dir x))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let raw ?(name = "x") ?(labels = []) ~at value = T.raw_point ~name ~labels ~at value
+
+(* --- independent hand-rolled encoder ------------------------------- *)
+
+(* Pins the documented wire format itself, not the implementation. *)
+let enc_str b s =
+  Buffer.add_uint16_le b (String.length s);
+  Buffer.add_string b s
+
+let enc_head b ~name ~labels =
+  enc_str b name;
+  Buffer.add_uint8 b (List.length labels);
+  List.iter
+    (fun (k, v) ->
+      enc_str b k;
+      enc_str b v)
+    labels
+
+let enc_f64 b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let enc_raw b ~name ~labels ~at ~value =
+  enc_head b ~name ~labels;
+  Buffer.add_uint8 b 0;
+  enc_f64 b at;
+  enc_f64 b value
+
+let enc_bucket b ~name ~labels ~start ~res ~count ~sum ~min ~max ~last ~last_at =
+  enc_head b ~name ~labels;
+  Buffer.add_uint8 b 1;
+  enc_f64 b start;
+  enc_f64 b res;
+  Buffer.add_int32_le b (Int32.of_int count);
+  enc_f64 b sum;
+  enc_f64 b min;
+  enc_f64 b max;
+  enc_f64 b last;
+  enc_f64 b last_at
+
+let encode_segment ?count body =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "PWTS";
+  Buffer.add_uint16_le b 1;
+  (match count with
+  | Some n -> Buffer.add_int32_le b (Int32.of_int n)
+  | None -> Buffer.add_int32_le b (-1l) (* unsealed marker *));
+  body b;
+  Buffer.contents b
+
+(* --- segment format ------------------------------------------------ *)
+
+let test_segment_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "seg.pwts" in
+  (* Deliberately unsorted input: write sorts by (name, labels, at). *)
+  let records =
+    [
+      raw ~name:"b" ~at:5.0 50.0;
+      raw ~name:"a" ~labels:[ ("site", "STAR") ] ~at:2.0 0.25;
+      raw ~name:"a" ~labels:[ ("site", "STAR") ] ~at:1.0 (-3.5);
+    ]
+  in
+  let n = T.Segment.write path records in
+  Alcotest.(check int) "three written" 3 n;
+  match T.Segment.read_all path with
+  | Error e -> Alcotest.fail e
+  | Ok (back, dropped) ->
+    Alcotest.(check bool) "sealed segment drops nothing" false dropped;
+    Alcotest.(check bool) "sorted by (name, labels, at), fields exact" true
+      (back
+      = [
+          raw ~name:"a" ~labels:[ ("site", "STAR") ] ~at:1.0 (-3.5);
+          raw ~name:"a" ~labels:[ ("site", "STAR") ] ~at:2.0 0.25;
+          raw ~name:"b" ~at:5.0 50.0;
+        ])
+
+let test_segment_format_pinned () =
+  with_temp_dir @@ fun dir ->
+  (* Direction 1: the library reads what the independent encoder wrote. *)
+  let path = Filename.concat dir "pinned.pwts" in
+  write_file path
+    (encode_segment ~count:2 (fun b ->
+         enc_bucket b ~name:"captured_bytes_per_s" ~labels:[] ~start:3600.0
+           ~res:3600.0 ~count:3 ~sum:6.75 ~min:1.25 ~max:3.0 ~last:2.5
+           ~last_at:5400.0;
+         enc_raw b ~name:"site_drop_rate"
+           ~labels:[ ("site", "STAR") ]
+           ~at:7200.0 ~value:0.125));
+  (match T.Segment.read_all path with
+  | Error e -> Alcotest.fail e
+  | Ok ([ bucket; point ], false) ->
+    Alcotest.(check string) "bucket name" "captured_bytes_per_s" bucket.T.t_name;
+    Alcotest.(check bool) "bucket is not raw" false (T.is_raw bucket);
+    Alcotest.(check (float 0.0)) "bucket start" 3600.0 bucket.T.t_at;
+    Alcotest.(check (float 0.0)) "bucket res" 3600.0 bucket.T.t_res;
+    Alcotest.(check int) "bucket count" 3 bucket.T.t_count;
+    Alcotest.(check (float 0.0)) "bucket sum" 6.75 bucket.T.t_sum;
+    Alcotest.(check (float 0.0)) "bucket min" 1.25 bucket.T.t_min;
+    Alcotest.(check (float 0.0)) "bucket max" 3.0 bucket.T.t_max;
+    Alcotest.(check (float 0.0)) "bucket last" 2.5 bucket.T.t_last;
+    Alcotest.(check (float 0.0)) "bucket last_at" 5400.0 bucket.T.t_last_at;
+    Alcotest.(check bool) "raw record exact" true
+      (point = raw ~name:"site_drop_rate" ~labels:[ ("site", "STAR") ] ~at:7200.0 0.125)
+  | Ok (l, _) -> Alcotest.failf "expected 2 records, got %d" (List.length l));
+  (* Direction 2: the library writes byte-for-byte what the independent
+     encoder predicts (count back-patched over the unsealed marker). *)
+  let path2 = Filename.concat dir "written.pwts" in
+  let _ =
+    T.Segment.write path2
+      [
+        raw ~name:"up" ~labels:[ ("site", "WASH") ] ~at:10.0 1.0;
+        raw ~name:"up" ~labels:[ ("site", "WASH") ] ~at:20.0 0.0;
+      ]
+  in
+  let expected =
+    encode_segment ~count:2 (fun b ->
+        enc_raw b ~name:"up" ~labels:[ ("site", "WASH") ] ~at:10.0 ~value:1.0;
+        enc_raw b ~name:"up" ~labels:[ ("site", "WASH") ] ~at:20.0 ~value:0.0)
+  in
+  Alcotest.(check bool) "writer output byte-identical to spec" true
+    (read_file path2 = expected)
+
+(* Two sources reporting the same series at the same instant (a local
+   and a federated aggregate) produce duplicate-keyed records; the
+   writer keeps them adjacent and the reader must accept its own
+   writer's output. *)
+let test_segment_duplicate_keys_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "dup.pwts" in
+  let twice = [ raw ~name:"x" ~at:5.0 1.0; raw ~name:"x" ~at:5.0 1.0 ] in
+  Alcotest.(check int) "both written" 2 (T.Segment.write path twice);
+  match T.Segment.read_all path with
+  | Error e -> Alcotest.fail ("duplicate keys rejected: " ^ e)
+  | Ok (back, false) ->
+    Alcotest.(check bool) "both read back" true (back = twice)
+  | Ok (_, true) -> Alcotest.fail "unexpected partial tail"
+
+let check_error path sub =
+  match T.Segment.read_all path with
+  | Ok _ -> Alcotest.fail ("expected Error mentioning " ^ sub)
+  | Error e ->
+    let present =
+      let ls = String.lowercase_ascii e and lsub = String.lowercase_ascii sub in
+      let n = String.length ls and m = String.length lsub in
+      let rec at i = i + m <= n && (String.sub ls i m = lsub || at (i + 1)) in
+      at 0
+    in
+    if not present then Alcotest.fail (Printf.sprintf "%S not in %S" sub e);
+    Alcotest.(check bool) "names the file" true
+      (String.length e >= String.length path
+      && String.sub e 0 (String.length path) = path)
+
+let test_segment_corruption_rejected () =
+  with_temp_dir @@ fun dir ->
+  let path name = Filename.concat dir name in
+  write_file (path "magic.pwts") "NOPE\x01\x00\x00\x00\x00\x00";
+  check_error (path "magic.pwts") "bad magic";
+  write_file (path "vers.pwts") "PWTS\x63\x00\x00\x00\x00\x00";
+  check_error (path "vers.pwts") "version 99";
+  write_file (path "short.pwts") "PWT";
+  check_error (path "short.pwts") "shorter than the header";
+  (* A sealed segment (real count) cut short is corruption — only the
+     unsealed tail segment gets the drop-partial recovery. *)
+  let whole =
+    encode_segment ~count:2 (fun b ->
+        enc_raw b ~name:"a" ~labels:[] ~at:1.0 ~value:1.0;
+        enc_raw b ~name:"a" ~labels:[] ~at:2.0 ~value:2.0)
+  in
+  write_file (path "trunc.pwts") (String.sub whole 0 (String.length whole - 5));
+  check_error (path "trunc.pwts") "cut short at record 2/2";
+  write_file (path "trail.pwts")
+    (encode_segment ~count:1 (fun b ->
+         enc_raw b ~name:"a" ~labels:[] ~at:1.0 ~value:1.0)
+    ^ "junk");
+  check_error (path "trail.pwts") "trailing garbage";
+  write_file (path "unsorted.pwts")
+    (encode_segment ~count:2 (fun b ->
+         enc_raw b ~name:"b" ~labels:[] ~at:1.0 ~value:1.0;
+         enc_raw b ~name:"a" ~labels:[] ~at:2.0 ~value:2.0));
+  check_error (path "unsorted.pwts") "not sorted at record 2";
+  write_file (path "kind.pwts")
+    (encode_segment ~count:1 (fun b ->
+         enc_head b ~name:"a" ~labels:[];
+         Buffer.add_uint8 b 7;
+         enc_f64 b 1.0;
+         enc_f64 b 1.0));
+  check_error (path "kind.pwts") "invalid record kind 0x07";
+  write_file (path "labels.pwts")
+    (encode_segment ~count:1 (fun b ->
+         enc_raw b ~name:"a"
+           ~labels:[ ("z", "1"); ("a", "2") ]
+           ~at:1.0 ~value:1.0));
+  check_error (path "labels.pwts") "labels not sorted";
+  write_file (path "minmax.pwts")
+    (encode_segment ~count:1 (fun b ->
+         enc_bucket b ~name:"a" ~labels:[] ~start:0.0 ~res:60.0 ~count:2
+           ~sum:3.0 ~min:9.0 ~max:1.0 ~last:1.0 ~last_at:5.0));
+  check_error (path "minmax.pwts") "min > max";
+  write_file (path "count.pwts")
+    (encode_segment ~count:1 (fun b ->
+         enc_bucket b ~name:"a" ~labels:[] ~start:0.0 ~res:60.0 ~count:0
+           ~sum:0.0 ~min:0.0 ~max:0.0 ~last:0.0 ~last_at:0.0));
+  check_error (path "count.pwts") "bucket with count 0"
+
+(* --- unsealed tail recovery ---------------------------------------- *)
+
+let test_truncated_tail_recovered () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "tsdb-000000.pwts" in
+  (* An unsealed segment (marker count), as a killed writer leaves it:
+     two complete records, then a record cut mid-float. *)
+  let complete =
+    encode_segment (fun b ->
+        enc_raw b ~name:"a" ~labels:[] ~at:1.0 ~value:1.0;
+        enc_raw b ~name:"a" ~labels:[] ~at:2.0 ~value:2.0;
+        enc_raw b ~name:"a" ~labels:[] ~at:3.0 ~value:3.0)
+  in
+  write_file path (String.sub complete 0 (String.length complete - 11));
+  (* Reading tolerates the torn tail: partial record dropped, not Corrupt. *)
+  (match T.Segment.read_all path with
+  | Error e -> Alcotest.fail ("recovery read failed: " ^ e)
+  | Ok (records, dropped) ->
+    Alcotest.(check int) "complete prefix survives" 2 (List.length records);
+    Alcotest.(check bool) "partial tail flagged" true dropped);
+  (* Opening the store repairs it in place into a sealed segment. *)
+  let store = T.open_store ~dir () in
+  Alcotest.(check int) "one segment recovered" 1 (T.recovered_segments store);
+  let r = T.Segment.open_reader path in
+  Alcotest.(check bool) "rewritten sealed" true (T.Segment.sealed r);
+  T.Segment.close r;
+  (match T.query_store store with
+  | [ ("a", [], records) ] ->
+    Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+      "points intact after repair"
+      [ (1.0, 1.0); (2.0, 2.0) ]
+      (List.map T.point_of_record records)
+  | _ -> Alcotest.fail "unexpected query result after recovery");
+  (* A fresh open finds nothing left to repair. *)
+  Alcotest.(check int) "idempotent" 0
+    (T.recovered_segments (T.open_store ~dir ()))
+
+(* --- downsampling identity ----------------------------------------- *)
+
+(* Monotone random series: the shape every collector produces. *)
+let gen_points seed =
+  let rng = Netcore.Rng.create seed in
+  let n = 20 + Netcore.Rng.int rng 60 in
+  let at = ref 0.0 in
+  List.init n (fun _ ->
+      at := !at +. (0.5 +. (Netcore.Rng.float rng *. 40.0));
+      let v = (Netcore.Rng.float rng *. 200.0) -. 100.0 in
+      (!at, v))
+
+let prop_downsample_matches_raw =
+  QCheck.Test.make ~count:40 ~name:"downsampled buckets ≡ recompute from raw"
+    QCheck.small_int
+    (fun seed ->
+      with_temp_dir @@ fun dir ->
+      let res = 60.0 in
+      let pts = gen_points seed in
+      let newest = List.fold_left (fun acc (at, _) -> Float.max acc at) 0.0 pts in
+      let store = T.open_store ~resolution:res ~dir () in
+      List.iter (fun (at, v) -> T.append_point store ~name:"x" ~at v) pts;
+      ignore (T.flush store);
+      T.compact store;
+      let records =
+        match T.query_store store with
+        | [ ("x", [], records) ] -> records
+        | [] -> []
+        | _ -> Alcotest.fail "unexpected series grouping"
+      in
+      (* Every stored record is either a raw point past the fold cutoff
+         or a bucket whose aggregates match recomputation over exactly
+         the raw points it replaced. *)
+      let ok_record r =
+        if T.is_raw r then
+          (* kept raw because its bucket had not fully passed *)
+          Float.floor (r.T.t_at /. res) *. res +. res > newest
+          && List.mem (r.T.t_at, r.T.t_sum) pts
+        else begin
+          let in_bucket =
+            List.filter
+              (fun (at, _) -> at >= r.T.t_at && at < r.T.t_at +. res)
+              pts
+          in
+          let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 in
+          let vs = List.map snd in_bucket in
+          r.T.t_count = List.length in_bucket
+          && r.T.t_sum = sum in_bucket (* bit-exact: same fold order *)
+          && r.T.t_min = List.fold_left Float.min infinity vs
+          && r.T.t_max = List.fold_left Float.max neg_infinity vs
+          && (r.T.t_last_at, r.T.t_last)
+             = List.nth in_bucket (List.length in_bucket - 1)
+        end
+      in
+      (* No point lost: bucket counts + raw records cover the input. *)
+      let covered =
+        List.fold_left
+          (fun acc r -> acc + (if T.is_raw r then 1 else r.T.t_count))
+          0 records
+      in
+      covered = List.length pts && List.for_all ok_record records)
+
+(* Compacting incrementally (flush/compact/flush/compact, as the live
+   service does at occasion boundaries) converges on the same store as
+   one final compaction — the determinism behind kill-and-resume. *)
+let prop_incremental_compaction_identical =
+  QCheck.Test.make ~count:30 ~name:"incremental compaction ≡ one-shot"
+    QCheck.small_int
+    (fun seed ->
+      with_temp_dir @@ fun dir_a ->
+      with_temp_dir @@ fun dir_b ->
+      let res = 60.0 in
+      let pts = gen_points (seed + 1000) in
+      let half = List.length pts / 2 in
+      let first = List.filteri (fun i _ -> i < half) pts in
+      let second = List.filteri (fun i _ -> i >= half) pts in
+      (* A: everything in one open handle, single flush+compact. *)
+      let a = T.open_store ~resolution:res ~dir:dir_a () in
+      List.iter (fun (at, v) -> T.append_point a ~name:"x" ~at v) pts;
+      ignore (T.flush a);
+      T.compact a;
+      (* B: two sessions with a "kill" (handle dropped) in between,
+         compacting each time. *)
+      let b1 = T.open_store ~resolution:res ~dir:dir_b () in
+      List.iter (fun (at, v) -> T.append_point b1 ~name:"x" ~at v) first;
+      ignore (T.flush b1);
+      T.compact b1;
+      let b2 = T.open_store ~resolution:res ~dir:dir_b () in
+      List.iter (fun (at, v) -> T.append_point b2 ~name:"x" ~at v) second;
+      ignore (T.flush b2);
+      T.compact b2;
+      T.query_store a = T.query_store b2)
+
+(* --- restart survival ---------------------------------------------- *)
+
+let test_restart_byte_identical () =
+  with_temp_dir @@ fun dir_a ->
+  with_temp_dir @@ fun dir_b ->
+  let rounds =
+    [
+      [ ("up", 10.0, 1.0); ("drop", 10.0, 0.01) ];
+      [ ("up", 20.0, 1.0); ("drop", 20.0, 0.12) ];
+      [ ("up", 30.0, 0.0); ("drop", 30.0, 0.2) ];
+    ]
+  in
+  let feed store round =
+    List.iter (fun (name, at, v) -> T.append_point store ~name ~at v) round;
+    ignore (T.flush store)
+  in
+  (* A: uninterrupted service. *)
+  let a = T.open_store ~dir:dir_a () in
+  List.iter (feed a) rounds;
+  (* B: killed and reopened after every round. *)
+  List.iter (fun round -> feed (T.open_store ~dir:dir_b ()) round) rounds;
+  (* Same segment files, byte for byte. *)
+  let names d = List.map Filename.basename (T.segments_in_dir d) in
+  Alcotest.(check (list string)) "same segment names" (names dir_a) (names dir_b);
+  List.iter2
+    (fun pa pb ->
+      Alcotest.(check bool)
+        (Filename.basename pa ^ " byte-identical")
+        true
+        (read_file pa = read_file pb))
+    (T.segments_in_dir dir_a) (T.segments_in_dir dir_b);
+  (* And the pre-kill window answers identically through the query path. *)
+  let pred = T.predicate ~since:10.0 ~until:20.0 ()
+  and a2 = T.open_store ~dir:dir_a ()
+  and b2 = T.open_store ~dir:dir_b () in
+  Alcotest.(check bool) "range query identical" true
+    (T.query_store ~pred a2 = T.query_store ~pred b2)
+
+let test_alert_rearm_matches_uninterrupted () =
+  let rule =
+    Alerts.rule ~series:"site_drop_rate" ~op:Alerts.Gt ~threshold:0.05
+      ~for_count:2 ()
+  in
+  let points =
+    [ (100.0, 0.01); (200.0, 0.09); (300.0, 0.1); (400.0, 0.08) ]
+  in
+  let labels = [ ("site", "STAR") ] in
+  (* Uninterrupted: evaluate after every collected point. *)
+  let reg_a = Registry.create () in
+  let col_a = Series.Collector.create () in
+  let al_a = Alerts.create ~registry:reg_a [ rule ] in
+  List.iter
+    (fun (at, v) ->
+      Series.Collector.push_point col_a ~name:"site_drop_rate" ~labels ~at v;
+      ignore (Alerts.evaluate al_a ~at col_a))
+    points;
+  (* Killed after the last point was persisted; a fresh service re-arms
+     from the stored tail. *)
+  with_temp_dir @@ fun dir ->
+  let store = T.open_store ~dir () in
+  List.iter
+    (fun (at, v) -> T.append_point store ~name:"site_drop_rate" ~labels ~at v)
+    points;
+  ignore (T.flush store);
+  let reg_b = Registry.create () in
+  let al_b = Alerts.create ~registry:reg_b [ rule ] in
+  ignore (Alerts.rearm al_b (T.tail_store ~n:(rule.Alerts.for_count + 1) store));
+  let state al =
+    List.map
+      (fun (r, ls, v) -> (r.Alerts.rule_name, ls, v))
+      (Alerts.active al)
+  in
+  Alcotest.(check bool) "firing after re-arm" true (state al_a <> []);
+  Alcotest.(check bool) "active set identical" true (state al_a = state al_b);
+  let gauge reg =
+    Registry.value reg "patchwork_alert_active"
+      ~labels:(("rule", rule.Alerts.rule_name) :: labels)
+  in
+  Alcotest.(check bool) "gauge identical" true (gauge reg_a = gauge reg_b);
+  (* Both services watch recovery happen the same way. *)
+  let col_b = Series.Collector.create () in
+  let next at v col al =
+    Series.Collector.push_point col ~name:"site_drop_rate" ~labels ~at v;
+    Alerts.evaluate al ~at col
+  in
+  let ev_a = next 500.0 0.0 col_a al_a and ev_b = next 500.0 0.0 col_b al_b in
+  Alcotest.(check bool) "clear transition identical" true
+    (List.map (fun e -> (e.Alerts.ev_rule, e.Alerts.ev_labels, e.Alerts.ev_value, e.Alerts.ev_transition)) ev_a
+    = List.map (fun e -> (e.Alerts.ev_rule, e.Alerts.ev_labels, e.Alerts.ev_value, e.Alerts.ev_transition)) ev_b
+    && List.length ev_a = 1);
+  Alcotest.(check bool) "both idle after clear" true
+    (state al_a = [] && state al_b = [])
+
+(* --- the /series.json endpoint over store + memory ----------------- *)
+
+let req ?(query = []) path = { Http.meth = "GET"; path; query; headers = [] }
+
+let body_of (resp : Http.response) = resp.Http.body
+
+let test_series_endpoint_history_and_filters () =
+  with_temp_dir @@ fun dir ->
+  let store = T.open_store ~dir () in
+  (* History on disk: two rounds flushed before the "restart"... *)
+  List.iter
+    (fun (at, v) -> T.append_point store ~name:"captured_bytes_per_s" ~at v)
+    [ (100.0, 10.0); (200.0, 20.0) ];
+  T.append_point store ~name:"up" ~labels:[ ("site", "STAR") ] ~at:200.0 1.0;
+  ignore (T.flush store);
+  (* ...and a fresh collector that only saw the post-restart round. *)
+  let col = Series.Collector.create () in
+  Series.Collector.push_point col ~name:"captured_bytes_per_s" ~at:300.0 30.0;
+  let get ?query () =
+    match Obs.Endpoints.series ~tsdb:store ~collector:col (req ?query "/series.json") with
+    | resp when resp.Http.status = 200 -> (
+      match J.parse (body_of resp) with
+      | Ok doc -> doc
+      | Error e -> Alcotest.fail ("unparseable body: " ^ e))
+    | resp -> Alcotest.failf "expected 200, got %d" resp.Http.status
+  in
+  let points_of doc name =
+    match J.member "series" doc with
+    | Some (J.Arr items) ->
+      List.concat_map
+        (fun item ->
+          if Option.bind (J.member "name" item) J.to_str = Some name then
+            match J.member "points" item with
+            | Some (J.Arr ps) ->
+              List.filter_map
+                (fun p ->
+                  match
+                    ( Option.bind (J.member "at" p) J.to_float,
+                      Option.bind (J.member "value" p) J.to_float )
+                  with
+                  | Some at, Some v -> Some (at, v)
+                  | _ -> None)
+                ps
+            | _ -> []
+          else [])
+        items
+    | _ -> []
+  in
+  (* Unfiltered: history + memory, oldest first, seamless. *)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "history prepended to memory"
+    [ (100.0, 10.0); (200.0, 20.0); (300.0, 30.0) ]
+    (points_of (get ()) "captured_bytes_per_s");
+  (* ?since= cuts history; ?name= drops other series. *)
+  let doc = get ~query:[ ("since", "150"); ("name", "captured_bytes_per_s") ] () in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "since filter"
+    [ (200.0, 20.0); (300.0, 30.0) ]
+    (points_of doc "captured_bytes_per_s");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "name filter" [] (points_of doc "up");
+  (* Label filter keeps only the site-labelled series. *)
+  let doc = get ~query:[ ("label", "site=STAR") ] () in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "label filter" [ (200.0, 1.0) ] (points_of doc "up");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "label filter drops unlabelled" []
+    (points_of doc "captured_bytes_per_s");
+  (* Malformed parameters are 400, not 500 and not silently ignored. *)
+  let status query =
+    (Obs.Endpoints.series ~tsdb:store ~collector:col (req ~query "/series.json"))
+      .Http.status
+  in
+  Alcotest.(check int) "malformed since" 400 (status [ ("since", "yesterday") ]);
+  Alcotest.(check int) "malformed until" 400 (status [ ("until", "nan") ]);
+  Alcotest.(check int) "malformed label" 400 (status [ ("label", "no-equals") ]);
+  Alcotest.(check int) "well-formed still 200" 200 (status [ ("since", "-1e3") ])
+
+(* The endpoint's answer for a pre-kill window is identical before a
+   kill and after recovery+restart — served bytes included. *)
+let test_series_endpoint_restart_identity () =
+  with_temp_dir @@ fun dir ->
+  let store = T.open_store ~dir () in
+  List.iter
+    (fun (at, v) -> T.append_point store ~name:"x" ~at v)
+    [ (10.0, 1.0); (20.0, 2.0) ];
+  ignore (T.flush store);
+  let empty_col = Series.Collector.create () in
+  let serve store =
+    body_of
+      (Obs.Endpoints.series ~tsdb:store ~collector:empty_col
+         (req ~query:[ ("until", "20") ] "/series.json"))
+  in
+  let before = serve store in
+  (* Kill: leave an unsealed segment with a torn tail behind. *)
+  let tail_path = Filename.concat dir "tsdb-999999.pwts" in
+  let torn =
+    encode_segment (fun b ->
+        enc_raw b ~name:"x" ~labels:[] ~at:30.0 ~value:3.0;
+        enc_raw b ~name:"x" ~labels:[] ~at:40.0 ~value:4.0)
+  in
+  write_file tail_path (String.sub torn 0 (String.length torn - 7));
+  let reopened = T.open_store ~dir () in
+  Alcotest.(check int) "torn tail recovered" 1 (T.recovered_segments reopened);
+  Alcotest.(check string) "pre-kill window byte-identical" before
+    (serve reopened);
+  (* The complete record of the torn segment survived recovery. *)
+  match T.query_store ~pred:(T.predicate ~since:25.0 ()) reopened with
+  | [ ("x", [], [ r ]) ] ->
+    Alcotest.(check (pair (float 0.0) (float 0.0)))
+      "recovered tail point" (30.0, 3.0) (T.point_of_record r)
+  | _ -> Alcotest.fail "recovered tail segment not served"
+
+(* --- federation ---------------------------------------------------- *)
+
+let test_federation_scrape_and_dead_target () =
+  (* A fake per-site exposition endpoint backed by its own registry. *)
+  let site_reg = Registry.create () in
+  Registry.inc
+    (Registry.counter site_reg "capture_offered_frames_total"
+       ~labels:[ ("site", "STAR") ])
+    1000.0;
+  Registry.inc (Registry.counter site_reg "frames_total") 500.0;
+  let handler =
+    Http.routes
+      [
+        ( "/metrics",
+          fun _ ->
+            Http.response
+              (Obs.Export.to_prometheus (Registry.snapshot site_reg)) );
+      ]
+  in
+  let server = Http.create ~port:0 handler in
+  let port = Http.port server in
+  let bg = Parallel.Background.spawn ~name:"fed-test" (fun () -> Http.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Http.stop server;
+      match Parallel.Background.join bg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "server died: %s" (Printexc.to_string e))
+    (fun () ->
+      (* A dead target on a freshly closed port: never blocks the rest. *)
+      let dead_port =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let p =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> assert false
+        in
+        Unix.close fd;
+        p
+      in
+      let logged = ref [] in
+      let fed =
+        Fed.create ~timeout_s:1.0
+          ~log:(fun msg -> logged := msg :: !logged)
+          [
+            Fed.target ~site:"STAR" ~port ();
+            Fed.target ~site:"WASH" ~port:dead_port ();
+          ]
+      in
+      let pts = Fed.scrape fed ~at:100.0 in
+      (* Everything leaving the federation plane is site-scoped —
+         unlabelled aggregate derivations would shadow the local
+         service's own series. *)
+      Alcotest.(check bool) "every federated point is site-labelled" true
+        (pts <> []
+        && List.for_all (fun (_, labels, _) -> List.mem_assoc "site" labels) pts);
+      (* Baseline round still reports liveness points for every site. *)
+      let up site =
+        List.filter_map
+          (fun (name, labels, p) ->
+            if name = "up" && labels = [ ("site", site) ] then
+              Some p.Series.value
+            else None)
+          pts
+      in
+      Alcotest.(check (list (float 0.0))) "good site up" [ 1.0 ] (up "STAR");
+      Alcotest.(check (list (float 0.0))) "dead site down" [ 0.0 ] (up "WASH");
+      Alcotest.(check bool) "failure logged, names the site" true
+        (List.exists
+           (fun m ->
+             let has sub =
+               let n = String.length m and k = String.length sub in
+               let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+               go 0
+             in
+             has "WASH" && has "failed")
+           !logged);
+      (* Scraped samples landed site-labelled in the federation registry;
+         already-labelled samples keep their own site label. *)
+      Alcotest.(check bool) "unlabelled sample gains site" true
+        (Registry.value (Fed.registry fed) "frames_total"
+           ~labels:[ ("site", "STAR") ]
+        = Some (Registry.Gauge 500.0));
+      Alcotest.(check bool) "existing site label preserved" true
+        (Registry.value (Fed.registry fed) "capture_offered_frames_total"
+           ~labels:[ ("site", "STAR") ]
+        = Some (Registry.Gauge 1000.0));
+      Alcotest.(check bool) "scrape duration gauge exists" true
+        (Registry.value (Fed.registry fed) "scrape_duration_seconds"
+           ~labels:[ ("site", "STAR") ]
+        <> None);
+      (* Second round: the counter moved; the collector derives deltas
+         federation-wide, and staleness ages for the dead site. *)
+      Registry.inc
+        (Registry.counter site_reg "capture_offered_frames_total"
+           ~labels:[ ("site", "STAR") ])
+        500.0;
+      let pts2 = Fed.scrape fed ~at:200.0 in
+      let age site =
+        List.filter_map
+          (fun (name, labels, p) ->
+            if name = "scrape_age_seconds" && labels = [ ("site", site) ] then
+              Some p.Series.value
+            else None)
+          pts2
+      in
+      Alcotest.(check (list (float 0.0))) "live site age 0" [ 0.0 ] (age "STAR");
+      (* WASH never answered: its age is undefined, so no point — the
+         up=0 gauge is the alerting hook for a never-up site. *)
+      Alcotest.(check (list (float 0.0))) "never-up site has no age" [] (age "WASH"))
+
+let test_target_parsing () =
+  (match Fed.target_of_string "STAR=127.0.0.1:9100" with
+  | Ok t ->
+    Alcotest.(check string) "site" "STAR" t.Fed.site;
+    Alcotest.(check string) "host" "127.0.0.1" t.Fed.host;
+    Alcotest.(check int) "port" 9100 t.Fed.port;
+    Alcotest.(check string) "default path" "/metrics" t.Fed.path
+  | Error e -> Alcotest.fail e);
+  (match Fed.target_of_string "WASH=9200/custom/metrics" with
+  | Ok t ->
+    Alcotest.(check string) "default host" "127.0.0.1" t.Fed.host;
+    Alcotest.(check int) "bare port" 9200 t.Fed.port;
+    Alcotest.(check string) "custom path" "/custom/metrics" t.Fed.path
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (Result.is_error (Fed.target_of_string bad)))
+    [ "no-equals"; "=9100"; "X=hostonly"; "X=1.2.3.4:notaport"; "X=1.2.3.4:0" ]
+
+let test_duration_parsing () =
+  List.iter
+    (fun (s, expect) ->
+      match Netcore.Units.parse_duration s with
+      | Ok v -> Alcotest.(check (float 0.0)) s expect v
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [
+      ("90", 90.0);
+      ("90s", 90.0);
+      ("15m", 900.0);
+      ("2h", 7200.0);
+      ("7d", 604800.0);
+      ("1w", 604800.0);
+      ("1.5h", 5400.0);
+    ];
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (Result.is_error (Netcore.Units.parse_duration bad)))
+    [ ""; "abc"; "-5m"; "0"; "5y"; "nan" ]
+
+(* --- retention ----------------------------------------------------- *)
+
+let test_retention_drops_old_records () =
+  with_temp_dir @@ fun dir ->
+  let store = T.open_store ~retention:100.0 ~dir () in
+  List.iter
+    (fun (at, v) -> T.append_point store ~name:"x" ~at v)
+    [ (10.0, 1.0); (150.0, 2.0); (300.0, 3.0) ];
+  ignore (T.flush store);
+  T.compact store;
+  match T.query_store store with
+  | [ ("x", [], records) ] ->
+    (* newest = 300; cutoff = 200: the 10.0 and 150.0 points age out. *)
+    Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+      "only the retained window survives"
+      [ (300.0, 3.0) ]
+      (List.map T.point_of_record records)
+  | _ -> Alcotest.fail "unexpected query result"
+
+let suites =
+  [
+    ( "tsdb.segment",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_segment_roundtrip;
+        Alcotest.test_case "duplicate keys roundtrip" `Quick
+          test_segment_duplicate_keys_roundtrip;
+        Alcotest.test_case "format pinned both ways" `Quick
+          test_segment_format_pinned;
+        Alcotest.test_case "corruption rejected" `Quick
+          test_segment_corruption_rejected;
+        Alcotest.test_case "truncated tail recovered" `Quick
+          test_truncated_tail_recovered;
+      ] );
+    ( "tsdb.downsample",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_downsample_matches_raw; prop_incremental_compaction_identical ]
+      @ [
+          Alcotest.test_case "retention drops old records" `Quick
+            test_retention_drops_old_records;
+        ] );
+    ( "tsdb.restart",
+      [
+        Alcotest.test_case "byte-identical after kill+resume" `Quick
+          test_restart_byte_identical;
+        Alcotest.test_case "alert re-arm matches uninterrupted" `Quick
+          test_alert_rearm_matches_uninterrupted;
+        Alcotest.test_case "endpoint restart identity" `Quick
+          test_series_endpoint_restart_identity;
+      ] );
+    ( "tsdb.endpoint",
+      [
+        Alcotest.test_case "history + filters + 400s" `Quick
+          test_series_endpoint_history_and_filters;
+      ] );
+    ( "tsdb.federation",
+      [
+        Alcotest.test_case "scrape round with dead target" `Quick
+          test_federation_scrape_and_dead_target;
+        Alcotest.test_case "target parsing" `Quick test_target_parsing;
+        Alcotest.test_case "duration parsing" `Quick test_duration_parsing;
+      ] );
+  ]
