@@ -1,0 +1,141 @@
+(* Loss-ledger bench: what the attribution ledger costs on the occasion
+   wall, and whether its output is deterministic under parallelism.
+
+   Two claims are asserted (exit 1 on any breach), so CI catches a
+   regression in the attribution plane:
+
+   - bounded overhead: replaying one occasion's worth of per-sample
+     ledger folds (record_sample with exemplar keys, plus the occasion
+     close with its conservation check) costs under 1% of the occasion's
+     own wall — attribution must never be the reason to turn the ledger
+     off;
+   - determinism: the same seeded occasion run at pool sizes 1 and 2
+     yields a byte-identical ledger (per-cause amounts AND exemplar
+     reservoirs), because exemplar selection is priority-based, not
+     arrival-order-based.
+
+   Results land in BENCH_ledger.json.
+
+   Knobs:
+     PATCHWORK_BENCH_HOURS          simulated hours per occasion (default 1)
+     PATCHWORK_BENCH_LEDGER_KEYS    exemplar keys offered per replayed sample
+                                    (default 32) *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try float_of_string v with _ -> default)
+  | None -> default
+
+let hours = env_float "PATCHWORK_BENCH_HOURS" 1.0
+let keys_per_sample = env_int "PATCHWORK_BENCH_LEDGER_KEYS" 32
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One seeded occasion with the ledger on; returns the occasion report,
+   its wall, and the ledger's full JSON rendering (the determinism
+   witness: amounts, residuals and exemplar lists all inside). *)
+let run_occasion ~pool_size seed =
+  Obs.Ledger.reset Obs.Ledger.default;
+  let start_time = 30.0 *. Netcore.Timebase.day in
+  let report, occasion_wall =
+    wall (fun () ->
+        Parallel.Pool.with_pool ~size:pool_size @@ fun pool ->
+        let engine = Simcore.Engine.create ~start_time () in
+        let fabric = Testbed.Fablib.create ~seed engine in
+        let driver = Traffic.Driver.create ~pool fabric ~seed in
+        let config =
+          {
+            Patchwork.Config.default with
+            Patchwork.Config.samples_per_run = 4;
+            max_frames_per_sample = 2000;
+            pool_size = Parallel.Pool.size pool;
+          }
+        in
+        Patchwork.Coordinator.run_occasion ~fabric ~driver ~config ~pool
+          ~start_time
+          ~duration:(hours *. Netcore.Timebase.hour) ())
+  in
+  let json = Obs.Export.Json.to_string (Obs.Ledger.to_json Obs.Ledger.default) in
+  (report, occasion_wall, json)
+
+let () =
+  Printf.printf "ledger bench: %.1f simulated hour(s) per occasion\n%!" hours;
+
+  (* --- the occasion itself (ledger on, as in production) --- *)
+  let report, occasion_wall, json_pool1 = run_occasion ~pool_size:1 2024 in
+  let samples = List.length (Patchwork.Coordinator.all_samples report) in
+  Printf.printf "occasion: %.3fs wall, %d samples, %d sites\n%!" occasion_wall
+    samples
+    (List.length report.Patchwork.Coordinator.sites);
+
+  (* --- determinism under parallelism: same seed, pool 2 --- *)
+  let _, _, json_pool2 = run_occasion ~pool_size:2 2024 in
+  let deterministic = String.equal json_pool1 json_pool2 in
+  Printf.printf "determinism (pool 1 vs 2): identical=%b\n%!" deterministic;
+
+  (* --- isolated ledger cost: replay the occasion's fold count --- *)
+  (* Each replayed sample is a worst-ish case: every cause populated and
+     [keys_per_sample] candidate exemplar keys competing for the
+     reservoirs.  Conservation holds by construction, so the close path
+     runs its full per-site check without raising. *)
+  let bench_ledger = Obs.Ledger.create () in
+  let sites = [| "STAR"; "TACC"; "UTAH"; "WASH"; "DALL"; "SALT" |] in
+  let keys =
+    Array.init 4096 (fun i ->
+        Printf.sprintf "tcp 10.0.%d.%d:%d -> 10.1.%d.%d:443" (i / 251)
+          (i mod 251)
+          (1024 + (i mod 60000))
+          (i / 193) (i mod 193))
+  in
+  let replays = max samples 1 in
+  let (), ledger_wall =
+    wall (fun () ->
+        Obs.Ledger.begin_occasion bench_ledger ~at:0.0;
+        for i = 0 to replays - 1 do
+          let site = sites.(i mod Array.length sites) in
+          let ks =
+            List.init keys_per_sample (fun j ->
+                keys.(((i * keys_per_sample) + j) mod Array.length keys))
+          in
+          Obs.Ledger.record_sample bench_ledger ~site ~offered_frames:10_000.0
+            ~offered_bytes:8.0e6 ~stored_frames:9_000.0 ~stored_bytes:6.3e6
+            ~keys:ks
+            [
+              (Obs.Ledger.Mirror_congestion, 400.0, 3.2e5);
+              (Obs.Ledger.Switch_drop, 100.0, 8.0e4);
+              (Obs.Ledger.Host_drop Obs.Ledger.Kernel, 450.0, 3.6e5);
+              (Obs.Ledger.Page_cache_throttle, 50.0, 4.0e4);
+              (Obs.Ledger.Truncated, 0.0, 9.0e5);
+            ]
+        done;
+        ignore (Obs.Ledger.close_occasion bench_ledger))
+  in
+  let overhead_pct = 100.0 *. ledger_wall /. Float.max 1e-9 occasion_wall in
+  let overhead_ok = overhead_pct < 1.0 in
+  Printf.printf
+    "ledger: %d folds (%d keys each) + close in %.6fs (%.4f%% of occasion, \
+     ok=%b)\n%!"
+    replays keys_per_sample ledger_wall overhead_pct overhead_ok;
+
+  let oc = open_out "BENCH_ledger.json" in
+  Printf.fprintf oc
+    {|{
+  "hours": %.2f,
+  "occasion": { "wall_s": %.6f, "samples": %d },
+  "ledger": { "folds": %d, "keys_per_fold": %d, "wall_s": %.6f, "overhead_pct": %.4f, "overhead_ok": %b },
+  "deterministic": %b
+}
+|}
+    hours occasion_wall samples replays keys_per_sample ledger_wall
+    overhead_pct overhead_ok deterministic;
+  close_out oc;
+  Printf.printf "wrote BENCH_ledger.json\n%!";
+  if not (overhead_ok && deterministic) then exit 1

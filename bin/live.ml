@@ -65,6 +65,7 @@ let routes ?tsdb ~log ~collector ~alerts () =
                (snapshot ())
             ^ "\n") );
       ("/series.json", Obs.Endpoints.series ?tsdb ~collector);
+      ("/lossmap.json", fun req -> Obs.Endpoints.lossmap req);
       ("/alerts.json", fun _ -> json_response (Obs.Alerts.to_json alerts));
       ("/logs.json", logs_json log);
       ( "/trace.json",
@@ -169,6 +170,7 @@ let start ?(rules = default_rules) ?baseline_at ?tsdb ?federation ~port ~log ()
   { server; bg; collector; alerts; log; hook; tsdb }
 
 let port t = Obs.Http.port t.server
+let active_alerts t = Obs.Alerts.active t.alerts
 
 let stop t =
   (* Unhook first: occasions run after stop must not feed the dead
@@ -262,7 +264,39 @@ let render_live ~port =
               (name ^ label_suffix labels)
               (Obs.Series.sparkline ~width:32 s)
               last)
-          all
+          all;
+        (* Federation staleness: a dead scraped site must be visible in
+           the report, not only in the raw up{site} gauge. *)
+        let last_value wanted site =
+          List.find_map
+            (fun (n, ls, pts) ->
+              if n = wanted && List.assoc_opt "site" ls = Some site then
+                match List.rev pts with (_, v) :: _ -> Some v | [] -> None
+              else None)
+            all
+        in
+        let fed_sites =
+          List.filter_map
+            (fun (n, ls, _) ->
+              if n = "up" then List.assoc_opt "site" ls else None)
+            all
+          |> List.sort_uniq compare
+        in
+        if fed_sites <> [] then begin
+          print_endline "federated sites:";
+          List.iter
+            (fun site ->
+              let age =
+                match last_value "scrape_age_seconds" site with
+                | Some a -> Printf.sprintf " (scrape age %gs)" a
+                | None -> ""
+              in
+              match last_value "up" site with
+              | Some v when v >= 1.0 -> Printf.printf "  %-16s up%s\n" site age
+              | Some _ -> Printf.printf "  %-16s DOWN%s\n" site age
+              | None -> ())
+            fed_sites
+        end
       end));
   match Obs.Http.get ~port "/alerts.json" with
   | Error msg -> Printf.printf "alerts unavailable: %s\n" msg

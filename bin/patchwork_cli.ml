@@ -11,6 +11,8 @@
      report    render the per-occasion span tree + drop/loss attribution
      release   anonymize + truncate a capture for public release
      capacity  query the capture-path capacity models
+     doctor    audit a live service or stored history: ledger
+               conservation, segment validation, staleness, alerts
 
    profile/analyze/weekly accept --metrics-out FILE (and
    --metrics-format json|prom) to dump the run's metrics registry and
@@ -385,6 +387,14 @@ let weekly_cmd =
     in
     Arg.(value & opt_all string [] & info [ "alert" ] ~docv:"RULE" ~doc)
   in
+  let fail_on_alert =
+    let doc =
+      "Exit nonzero when any alert rule is still firing after the last \
+       occasion (for CI gates and cron wrappers).  Implies the alert \
+       evaluator even without $(b,--serve-metrics)."
+    in
+    Arg.(value & flag & info [ "fail-on-alert" ] ~doc)
+  in
   let pipeline =
     let doc =
       "Overlap each week's analysis with the next week's simulation: the \
@@ -456,8 +466,9 @@ let weekly_cmd =
     Arg.(value & opt_all string [] & info [ "scrape" ] ~docv:"TARGET" ~doc)
   in
   let run seed weeks start_day hours out domains metrics_out metrics_format
-      serve_metrics hold alert_rules pipeline pipeline_depth flow_store
-      spill_threshold flow_cache_bits tsdb retention downsample scrape =
+      serve_metrics hold alert_rules fail_on_alert pipeline pipeline_depth
+      flow_store spill_threshold flow_cache_bits tsdb retention downsample
+      scrape =
     (* The paper's operational mode: Patchwork runs weekly and keeps a
        cumulative testbed-wide profile (the public dashboard's data).
        One pool serves every occasion. *)
@@ -517,7 +528,7 @@ let weekly_cmd =
          occasion hook (and re-armed alerts): run the service on an
          ephemeral port without announcing it. *)
       match (serve_metrics, tsdb_store, federation) with
-      | None, None, None -> None
+      | None, None, None when not fail_on_alert -> None
       | port, _, _ ->
         let baseline_at = float_of_int start_day *. Netcore.Timebase.day in
         let l =
@@ -624,21 +635,41 @@ let weekly_cmd =
     | _ -> ());
     print_flow_cache_summary ();
     write_metrics metrics_out metrics_format;
-    (match live with
-    | None -> ()
-    | Some l ->
-      if hold then begin
-        Printf.printf "holding (SIGINT/SIGTERM to exit)\n%!";
-        Live.hold_until_signal ()
-      end;
-      Live.stop l;
-      if serve_metrics <> None then Printf.printf "metrics server stopped\n%!");
-    match tsdb_store with
+    let actives =
+      match live with
+      | None -> []
+      | Some l ->
+        if hold then begin
+          Printf.printf "holding (SIGINT/SIGTERM to exit)\n%!";
+          Live.hold_until_signal ()
+        end;
+        let actives = Live.active_alerts l in
+        Live.stop l;
+        if serve_metrics <> None then Printf.printf "metrics server stopped\n%!";
+        actives
+    in
+    (match tsdb_store with
     | Some store ->
       Printf.printf "tsdb: %d segments under %s\n%!"
         (List.length (Obs.Tsdb.segments store))
         (Obs.Tsdb.dir store)
-    | None -> ()
+    | None -> ());
+    if fail_on_alert && actives <> [] then begin
+      Printf.printf "active alerts at exit:\n";
+      List.iter
+        (fun ((r : Obs.Alerts.rule), labels, v) ->
+          Printf.printf "  %s%s value=%g\n" r.Obs.Alerts.rule_name
+            (match labels with
+            | [] -> ""
+            | ls ->
+              "{"
+              ^ String.concat ","
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+              ^ "}")
+            v)
+        actives;
+      exit 1
+    end
   in
   let info =
     Cmd.info "weekly"
@@ -648,8 +679,9 @@ let weekly_cmd =
     Term.(
       const run $ seed_arg $ weeks $ start_day $ hours $ out $ domains_arg
       $ metrics_out_arg $ metrics_format_arg $ serve_metrics $ hold
-      $ alert_rules $ pipeline $ pipeline_depth $ flow_store $ spill_threshold
-      $ flow_cache_bits_arg $ tsdb $ retention $ downsample $ scrape)
+      $ alert_rules $ fail_on_alert $ pipeline $ pipeline_depth $ flow_store
+      $ spill_threshold $ flow_cache_bits_arg $ tsdb $ retention $ downsample
+      $ scrape)
 
 (* --- query --- *)
 
@@ -685,12 +717,38 @@ let query_cmd =
     let doc = "Also print the log2 flow-size distribution." in
     Arg.(value & flag & info [ "dist" ] ~doc)
   in
-  let run store_dir since until site proto top dist metrics_out metrics_format =
+  let keys =
+    let doc =
+      "Look up this exact flow key instead of scanning with predicates \
+       (repeatable).  The drill-down for the loss ledger's exemplars: \
+       paste a key from $(b,/lossmap.json) or $(b,doctor) to see how much \
+       of the flow still made it into storage."
+    in
+    Arg.(value & opt_all string [] & info [ "key" ] ~docv:"KEY" ~doc)
+  in
+  let run store_dir since until site proto top dist keys metrics_out
+      metrics_format =
     (let segs = Analysis.Flow_store.segments_in_dir store_dir in
      if segs = [] then
        failwith
          (store_dir
         ^ ": no .pwfs segments (write some with weekly --flow-store DIR)");
+     if keys <> [] then
+       match Analysis.Flow_store.lookup ~keys segs with
+       | exception Analysis.Flow_store.Corrupt msg -> failwith msg
+       | found ->
+         List.iter
+           (fun (key, summary) ->
+             match summary with
+             | None -> Printf.printf "  %-48s (no record in the store)\n" key
+             | Some (f : Analysis.Flows.summary) ->
+               Printf.printf "  %-48s %14.0f B %10.0f frames  %7.0fs-%-7.0fs%s\n"
+                 f.Analysis.Flows.flow_key f.Analysis.Flows.bytes
+                 f.Analysis.Flows.frames f.Analysis.Flows.first_seen
+                 f.Analysis.Flows.last_seen
+                 (if f.Analysis.Flows.rst_seen then "  RST" else ""))
+           found
+     else
      let pred = Analysis.Flow_store.predicate ?since ?until ?site ?proto () in
      match
        if top > 0 then Analysis.Flow_store.query ~pred ~top segs
@@ -742,7 +800,7 @@ let query_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ store_dir $ since $ until $ site $ proto $ top $ dist
+      const run $ store_dir $ since $ until $ site $ proto $ top $ dist $ keys
       $ metrics_out_arg $ metrics_format_arg)
 
 (* --- release --- *)
@@ -903,6 +961,78 @@ let print_attribution metrics =
       totals.(0) totals.(1) totals.(2) totals.(3) loss
   end
 
+(* The loss waterfall: the ledger's per-site, per-cause attribution from
+   the snapshot's [ledger_*] counters, rendered as offered -> each cause
+   -> stored so the whole budget is visible at once.  Silent when the
+   snapshot predates the ledger (or it was disabled). *)
+let print_loss_waterfall metrics =
+  let member_str k m = Option.bind (J.member k m) J.to_str in
+  let label k m =
+    Option.bind (J.member "labels" m) (J.member k) |> Fun.flip Option.bind J.to_str
+  in
+  let value m = Option.bind (J.member "value" m) J.to_float in
+  (* site -> (offered, stored, (cause -> frames)) *)
+  let sites = Hashtbl.create 8 in
+  let site_row site =
+    match Hashtbl.find_opt sites site with
+    | Some r -> r
+    | None ->
+      let r = (ref 0.0, ref 0.0, Hashtbl.create 8) in
+      Hashtbl.add sites site r;
+      r
+  in
+  let violations = ref 0.0 in
+  List.iter
+    (fun m ->
+      match (member_str "name" m, label "site" m, value m) with
+      | Some "ledger_conservation_violations_total", _, Some v ->
+        violations := !violations +. v
+      | Some "ledger_offered_frames_total", Some site, Some v ->
+        let offered, _, _ = site_row site in
+        offered := !offered +. v
+      | Some "ledger_stored_frames_total", Some site, Some v ->
+        let _, stored, _ = site_row site in
+        stored := !stored +. v
+      | Some "ledger_attributed_frames_total", Some site, Some v -> (
+        match label "cause" m with
+        | None -> ()
+        | Some cause ->
+          let _, _, causes = site_row site in
+          Hashtbl.replace causes cause
+            (v +. Option.value ~default:0.0 (Hashtbl.find_opt causes cause)))
+      | _ -> ())
+    metrics;
+  if Hashtbl.length sites > 0 then begin
+    print_newline ();
+    print_endline "loss waterfall (attribution ledger):";
+    let rows =
+      List.sort compare
+        (Hashtbl.fold (fun site r acc -> (site, r) :: acc) sites [])
+    in
+    List.iter
+      (fun (site, (offered, stored, causes)) ->
+        let pct v = if !offered > 0.0 then 100.0 *. v /. !offered else 0.0 in
+        Printf.printf "  %-8s offered %14.0f frames\n" site !offered;
+        let cause_rows =
+          List.sort (fun (_, a) (_, b) -> compare b a)
+            (Hashtbl.fold (fun c v acc -> (c, v) :: acc) causes [])
+        in
+        List.iter
+          (fun (cause, v) ->
+            if v > 0.0 then
+              Printf.printf "  %-8s   - %-20s %10.0f  %6.2f%%\n" "" cause v
+                (pct v))
+          cause_rows;
+        Printf.printf "  %-8s   = stored %18.0f  %6.2f%%\n" "" !stored
+          (pct !stored))
+      rows;
+    if !violations > 0.0 then
+      Printf.printf
+        "  WARNING: %.0f conservation violation%s recorded (run doctor)\n"
+        !violations
+        (if !violations = 1.0 then "" else "s")
+  end
+
 (* Flow-cache hit rate from the snapshot's digest counters; silent when
    the run never enabled the cache. *)
 let print_cache_line metrics =
@@ -937,6 +1067,7 @@ let render_report doc =
   match J.member "metrics" doc with
   | Some (J.Arr metrics) ->
     print_attribution metrics;
+    print_loss_waterfall metrics;
     print_cache_line metrics
   | _ -> print_endline "no metrics in snapshot"
 
@@ -1027,6 +1158,48 @@ let report_cmd =
       const run $ seed_arg $ hours $ site $ infile $ live_port $ history
       $ hist_since $ hist_until $ hist_name $ domains_arg)
 
+(* --- doctor --- *)
+
+let doctor_cmd =
+  let live =
+    let doc =
+      "Audit a running $(b,weekly --serve-metrics) service on \
+       127.0.0.1:$(docv): liveness/readiness, loss-ledger conservation \
+       recomputed from $(b,/lossmap.json), active alerts, federation \
+       staleness and cache sanity."
+    in
+    Arg.(value & opt (some int) None & info [ "live" ] ~docv:"PORT" ~doc)
+  in
+  let history =
+    let doc =
+      "Audit an on-disk $(b,weekly --tsdb) store under $(docv): validate \
+       every segment byte-for-byte, recompute ledger conservation from \
+       the persisted series, and check federation staleness and cache \
+       sanity from the stored history."
+    in
+    Arg.(value & opt (some string) None & info [ "history" ] ~docv:"DIR" ~doc)
+  in
+  let flow_store =
+    let doc =
+      "Also validate the flow-store segments under $(docv) (written by \
+       $(b,weekly --flow-store))."
+    in
+    Arg.(value & opt (some string) None & info [ "flow-store" ] ~docv:"DIR" ~doc)
+  in
+  let run live history flow_store =
+    exit (Doctor.run ?live ?history ?flow_store ())
+  in
+  let info =
+    Cmd.info "doctor"
+      ~doc:
+        "Run the platform's health checks — ledger conservation, segment \
+         validation, federation staleness, alerts, cache sanity — against \
+         a live service ($(b,--live)) and/or stored history \
+         ($(b,--history)); PASS/WARN/FAIL per check, nonzero exit on any \
+         FAIL"
+  in
+  Cmd.v info Term.(const run $ live $ history $ flow_store)
+
 (* --- capacity --- *)
 
 let capacity_cmd =
@@ -1057,4 +1230,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ profile_cmd; weekly_cmd; dissect_cmd; generate_cmd; analyze_cmd;
-            query_cmd; report_cmd; release_cmd; capacity_cmd ]))
+            query_cmd; report_cmd; release_cmd; capacity_cmd; doctor_cmd ]))

@@ -663,3 +663,59 @@ let query ?(pred = no_predicate) ?top paths =
         wall_s = wall;
       };
   }
+
+(* Targeted lookup for the loss ledger's exemplar drill-down: one merge
+   scan, accumulating only the wanted keys.  Same absorption as [query]
+   (records arrive in (key, seq) order), so a found summary is
+   byte-identical to the key's entry in a full query. *)
+let lookup ~keys paths =
+  Obs.Span.timed ~stage:"flowstore.lookup" @@ fun () ->
+  let wanted = Hashtbl.create (List.length keys) in
+  List.iter (fun k -> if not (Hashtbl.mem wanted k) then Hashtbl.add wanted k None) keys;
+  let absorb (r : record) =
+    if Hashtbl.mem wanted r.r_key then begin
+      let a =
+        match Hashtbl.find wanted r.r_key with
+        | Some a -> a
+        | None ->
+          let a =
+            {
+              a_key = r.r_key;
+              a_frames = 0.0;
+              a_bytes = 0.0;
+              a_first = r.r_first;
+              a_last = r.r_last;
+              a_rst = false;
+            }
+          in
+          Hashtbl.replace wanted r.r_key (Some a);
+          a
+      in
+      a.a_frames <- a.a_frames +. r.r_frames;
+      a.a_bytes <- a.a_bytes +. r.r_bytes;
+      a.a_first <- Float.min a.a_first r.r_first;
+      a.a_last <- Float.max a.a_last r.r_last;
+      a.a_rst <- a.a_rst || r.r_rst
+    end
+  in
+  let scanned = scan paths absorb in
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.incr obs_queries;
+    Obs.Registry.inc obs_records_scanned (float_of_int scanned)
+  end;
+  List.map
+    (fun k ->
+      ( k,
+        match Hashtbl.find_opt wanted k with
+        | Some (Some a) ->
+          Some
+            {
+              Flows.flow_key = a.a_key;
+              frames = a.a_frames;
+              bytes = a.a_bytes;
+              first_seen = a.a_first;
+              last_seen = a.a_last;
+              rst_seen = a.a_rst;
+            }
+        | _ -> None ))
+    keys

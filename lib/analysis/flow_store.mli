@@ -151,3 +151,11 @@ val query : ?pred:predicate -> ?top:int -> string list -> query_result
     [top] and without a predicate, [flows] is byte-identical to
     [Flows.aggregate] over the groups the store was written from.
     @raise Corrupt on a malformed segment. *)
+
+val lookup : keys:string list -> string list -> (string * Flows.summary option) list
+(** Targeted lookup of specific flow keys (the loss ledger's exemplar
+    drill-down): one merge scan over the segments, returning per input
+    key (in input order) the key's merged summary, or [None] when the
+    store has no record of it.  A found summary equals the key's entry
+    in a full {!query}.
+    @raise Corrupt on a malformed segment. *)

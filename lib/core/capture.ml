@@ -92,6 +92,85 @@ let method_capacity_pps (config : Config.t) =
     in
     host *. float_of_int fpga.Hostmodel.Fpga_path.sample_1_in
 
+(* The whole-sample loss split the attribution ledger records: every
+   offered frame/byte lands in exactly one bucket — stored, or one of
+   the loss causes — so `offered = stored + Σ attributed` holds by
+   construction (up to float association, well inside the ledger's
+   1e-6 relative tolerance).  Pure, so the conservation property is
+   qcheck-able over adversarial parameters without a fabric. *)
+type breakdown = {
+  b_offered_frames : float;
+  b_offered_bytes : float;  (** wire bytes, no pcap record headers *)
+  b_switch_dropped : float;
+  b_host_dropped : float;  (** total host loss, throttling included *)
+  b_captured_frames : float;
+  b_stored_wire_bytes : float;  (** wire bytes of stored frames *)
+  b_causes : (Obs.Ledger.cause * float * float) list;
+}
+
+let loss_breakdown ~offered_pps ~duration ~avg_frame_size ~switch_drop_frac
+    ~congested ~capacity_pps ~throttle ~truncation ~host_path =
+  let offered_frames = offered_pps *. duration in
+  let offered_bytes = offered_frames *. avg_frame_size in
+  let switch_dropped = offered_frames *. switch_drop_frac in
+  let after_pps = offered_pps *. (1.0 -. switch_drop_frac) in
+  (* keep_full: what the host would keep unthrottled; keep: with the
+     page-cache throttle pacing the writer down.  The gap between the
+     two is the throttle's own loss. *)
+  let keep_full =
+    if after_pps <= 0.0 then 1.0 else Float.min 1.0 (capacity_pps /. after_pps)
+  in
+  let keep =
+    if after_pps <= 0.0 then 1.0
+    else Float.min 1.0 (capacity_pps *. throttle /. after_pps)
+  in
+  let host_dropped = after_pps *. (1.0 -. keep) *. duration in
+  let host_base = after_pps *. (1.0 -. keep_full) *. duration in
+  let throttled = Float.max 0.0 (host_dropped -. host_base) in
+  let host_dropped_base = host_dropped -. throttled in
+  let captured = after_pps *. keep *. duration in
+  let wire = Float.min avg_frame_size (float_of_int truncation) in
+  (* Truncation loses bytes, never frames; stored wire bytes are the
+     exact complement so the byte identity closes. *)
+  let truncated_bytes = captured *. Float.max 0.0 (avg_frame_size -. wire) in
+  let stored_wire = (captured *. avg_frame_size) -. truncated_bytes in
+  {
+    b_offered_frames = offered_frames;
+    b_offered_bytes = offered_bytes;
+    b_switch_dropped = switch_dropped;
+    b_host_dropped = host_dropped;
+    b_captured_frames = captured;
+    b_stored_wire_bytes = stored_wire;
+    b_causes =
+      [
+        ( (if congested then Obs.Ledger.Mirror_congestion
+           else Obs.Ledger.Switch_drop),
+          switch_dropped,
+          switch_dropped *. avg_frame_size );
+        ( Obs.Ledger.Host_drop host_path,
+          host_dropped_base,
+          host_dropped_base *. avg_frame_size );
+        (Obs.Ledger.Page_cache_throttle, throttled, throttled *. avg_frame_size);
+        (Obs.Ledger.Truncated, 0.0, truncated_bytes);
+      ];
+  }
+
+(* Exemplar candidates for the ledger: the first few distinct flow keys
+   of the materialized records.  Bounded so a heavy sample costs O(1). *)
+let exemplar_keys ?(limit = 256) acaps =
+  let seen = Hashtbl.create 64 in
+  let rec go acc n = function
+    | [] -> List.rev acc
+    | _ when n >= limit -> List.rev acc
+    | a :: rest -> (
+      match Dissect.Acap.flow_key a with
+      | Some k when not (Hashtbl.mem seen k) ->
+        Hashtbl.add seen k ();
+        go (k :: acc) (n + 1) rest
+      | _ -> go acc n rest)
+  in
+  go [] 0 acaps
+
 (* Expected number of distinct flows visible in a window: each attached
    spec contributes up to [subflows] distinct 5-tuples; with [f] frames
    spread uniformly across them, the expected number touched is
@@ -107,7 +186,8 @@ let flow_estimate specs ~start_time ~end_time =
       end)
     0.0 specs
 
-let run ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror ~mirrored_port =
+let run ?page_cache ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror
+    ~mirrored_port () =
   let engine = Fablib.engine fabric in
   let sw = Fablib.switch fabric ~site in
   let now = Simcore.Engine.now engine in
@@ -138,20 +218,43 @@ let run ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror ~mirrored_port
     Switch.mirrored_rate sw mirror *. 8.0 > Switch.line_rate sw
   in
   let after_switch_pps = offered_pps *. (1.0 -. switch_drop_frac) in
-  (* Loss at the host. *)
+  (* Loss at the host, paced down by page-cache writeback when the
+     instance models one (throttle is read at sample start: this
+     sample's keep rate reflects the cache state its writes meet). *)
   let capacity = method_capacity_pps config in
-  let host_keep =
-    if after_switch_pps <= 0.0 then 1.0 else Float.min 1.0 (capacity /. after_switch_pps)
+  let throttle =
+    match page_cache with
+    | Some pc -> Hostmodel.Page_cache.throttle_factor pc
+    | None -> 1.0
   in
-  let captured_pps = after_switch_pps *. host_keep in
-  let offered_frames = offered_pps *. duration in
-  let switch_dropped = offered_frames *. switch_drop_frac in
-  let host_dropped = after_switch_pps *. (1.0 -. host_keep) *. duration in
-  let captured_frames = captured_pps *. duration in
+  let host_path =
+    match config.Config.capture_method with
+    | Config.Tcpdump -> Hostmodel.Kernel_path.host_path
+    | Config.Dpdk _ -> Hostmodel.Dpdk_path.host_path
+    | Config.Fpga_dpdk _ -> Hostmodel.Fpga_path.host_path
+  in
+  let b =
+    loss_breakdown ~offered_pps ~duration ~avg_frame_size ~switch_drop_frac
+      ~congested:congestion_detected ~capacity_pps:capacity ~throttle
+      ~truncation:config.Config.truncation ~host_path
+  in
+  let host_keep =
+    if after_switch_pps <= 0.0 then 1.0
+    else Float.min 1.0 (capacity *. throttle /. after_switch_pps)
+  in
+  let offered_frames = b.b_offered_frames in
+  let switch_dropped = b.b_switch_dropped in
+  let host_dropped = b.b_host_dropped in
+  let captured_frames = b.b_captured_frames in
   let stored_per_frame =
     Float.min avg_frame_size (float_of_int config.Config.truncation) +. 16.0
   in
   let stored_bytes = captured_frames *. stored_per_frame in
+  (match page_cache with
+  | Some pc ->
+    Hostmodel.Page_cache.write pc stored_bytes;
+    Hostmodel.Page_cache.advance pc ~dt:duration
+  | None -> ());
   (* Materialization budget: thin uniformly if the sample is heavy. *)
   let budget = float_of_int config.Config.max_frames_per_sample in
   let materialized_fraction =
@@ -212,6 +315,11 @@ let run ~fabric ~resolver ~(config : Config.t) ~rng ~site ~mirror ~mirrored_port
   record_sample_metrics ~site ~offered:offered_frames ~switch_dropped
     ~host_dropped ~captured:captured_frames ~stored:stored_bytes
     ~congested:congestion_detected;
+  if Obs.Ledger.enabled () then
+    Obs.Ledger.record_sample Obs.Ledger.default ~site
+      ~offered_frames:b.b_offered_frames ~offered_bytes:b.b_offered_bytes
+      ~stored_frames:b.b_captured_frames ~stored_bytes:b.b_stored_wire_bytes
+      ~keys:(exemplar_keys acaps) b.b_causes;
   {
     sample_site = site;
     sample_port = mirrored_port;

@@ -35,7 +35,42 @@ type sample = {
   stats : stats;
 }
 
+(** The whole-sample loss split recorded into the attribution ledger:
+    every offered frame/byte lands in exactly one bucket — stored, or
+    one of the loss causes — so [offered = stored + Σ attributed] holds
+    by construction (within the ledger's relative tolerance).  Offered
+    and stored bytes are {e wire} bytes: truncation appears as a
+    bytes-only cause and pcap record headers are excluded. *)
+type breakdown = {
+  b_offered_frames : float;
+  b_offered_bytes : float;
+  b_switch_dropped : float;
+  b_host_dropped : float;  (** total host loss, throttling included *)
+  b_captured_frames : float;
+  b_stored_wire_bytes : float;
+  b_causes : (Obs.Ledger.cause * float * float) list;
+      (** (cause, frames, bytes); zero-amount entries included *)
+}
+
+val loss_breakdown :
+  offered_pps:float ->
+  duration:float ->
+  avg_frame_size:float ->
+  switch_drop_frac:float ->
+  congested:bool ->
+  capacity_pps:float ->
+  throttle:float ->
+  truncation:int ->
+  host_path:Obs.Ledger.host_path ->
+  breakdown
+(** Pure, so the conservation property is testable over adversarial
+    parameters without a fabric.  Switch loss is attributed to
+    [Mirror_congestion] when [congested], else [Switch_drop]; host loss
+    beyond the unthrottled capacity split goes to
+    [Page_cache_throttle]. *)
+
 val run :
+  ?page_cache:Hostmodel.Page_cache.t ->
   fabric:Testbed.Fablib.t ->
   resolver:(int -> Traffic.Flow_model.spec option) ->
   config:Config.t ->
@@ -43,6 +78,13 @@ val run :
   site:string ->
   mirror:int ->
   mirrored_port:int ->
+  unit ->
   sample
 (** Capture one sample starting now (the engine's current time is the
-    sample start; the traffic state is read at that instant). *)
+    sample start; the traffic state is read at that instant).
+
+    When [page_cache] is given, the sample's keep rate is paced by the
+    cache's current {!Hostmodel.Page_cache.throttle_factor} and the
+    sample's stored bytes are written into (and drained from) the
+    cache.  The sample's loss split is folded into
+    [Obs.Ledger.default] while the ledger is enabled. *)

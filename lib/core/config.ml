@@ -27,6 +27,7 @@ type t = {
   busiest_window : float;
   instance_crash_prob : float;
   host_profile : Hostmodel.Host_profile.t;
+  model_page_cache : bool;
   pool_size : int;
 }
 
@@ -47,6 +48,7 @@ let default =
     busiest_window = 1800.0;
     instance_crash_prob = 0.001;
     host_profile = Hostmodel.Host_profile.default;
+    model_page_cache = false;
     pool_size = Parallel.Pool.default_size ();
   }
 

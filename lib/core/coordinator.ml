@@ -225,6 +225,12 @@ let run_occasion ~fabric ~driver ~config ?pool ?log ?(max_instances = 2)
   let log = match log with Some l -> l | None -> Logging.create () in
   let rng = Netcore.Rng.split (Fablib.rng fabric) in
   let until = start_time +. duration in
+  (* The loss-attribution occasion boundary: everything the capture
+     path records until the close below reconciles against this
+     occasion (seeding exemplar priorities from start_time keeps them
+     independent of pool size and interleaving). *)
+  if Obs.Ledger.enabled () then
+    Obs.Ledger.begin_occasion Obs.Ledger.default ~at:start_time;
   (* The whole occasion is one span; each workflow phase of §6.2 is a
      child span, so `patchwork_cli report` can attribute wall time (and
      allocation) per phase. *)
@@ -306,6 +312,16 @@ let run_occasion ~fabric ~driver ~config ?pool ?log ?(max_instances = 2)
   let report =
     { occasion_start = start_time; occasion_duration = duration; sites = reports; log }
   in
+  (* Close the loss ledger before the hooks run, so the live stack's
+     collector sees this occasion's cumulative ledger counters (and a
+     conservation violation is caught here, not at some later read). *)
+  if Obs.Ledger.enabled () then
+    ignore
+      (Obs.Ledger.close_occasion
+         ~log:(fun msg ->
+           Logging.log log ~time:until ~level:Logging.Error ~component:"ledger"
+             msg)
+         Obs.Ledger.default);
   Atomic.incr completed;
   run_hooks report;
   report

@@ -13,6 +13,7 @@ type t = {
   instance_id : int;
   nic_port : int;
   cycling : Port_cycling.t;
+  page_cache : Hostmodel.Page_cache.t option;
   storage_bytes : float;
   mutable status : status;
   mutable samples : Capture.sample list;  (* newest first *)
@@ -42,6 +43,10 @@ let create ~fabric ~resolver ~config ~log ~rng ~site ~instance_id ~nic_port
     cycling =
       Port_cycling.create config.Config.port_selection ~rng ~site ~candidates
         ~uplinks;
+    page_cache =
+      (if config.Config.model_page_cache then
+         Some (Hostmodel.Page_cache.of_profile config.Config.host_profile)
+       else None);
     storage_bytes;
     status = Running;
     samples = [];
@@ -130,9 +135,18 @@ and run_samples t ~mirror ~port ~remaining =
   end
   else begin
     let sample =
-      Capture.run ~fabric:t.fabric ~resolver:t.resolver ~config:t.config ~rng:t.rng
-        ~site:t.site ~mirror ~mirrored_port:port
+      Capture.run ?page_cache:t.page_cache ~fabric:t.fabric ~resolver:t.resolver
+        ~config:t.config ~rng:t.rng ~site:t.site ~mirror ~mirrored_port:port ()
     in
+    (* The disk keeps draining between samples: let the cache recover
+       over the idle remainder of the interval. *)
+    (match t.page_cache with
+    | Some pc ->
+      Hostmodel.Page_cache.advance pc
+        ~dt:
+          (Float.max 0.0
+             (t.config.Config.sample_interval -. t.config.Config.sample_duration))
+    | None -> ());
     t.samples <- sample :: t.samples;
     Obs.Registry.incr (obs_counter "instance_samples_total" t.site);
     t.storage_used <- t.storage_used +. sample.Capture.stats.Capture.stored_bytes;

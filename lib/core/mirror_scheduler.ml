@@ -66,9 +66,27 @@ let credit t grant ~since =
   Hashtbl.replace t.service grant.g_user
     (service_time t ~user:grant.g_user +. elapsed)
 
+(* Frames a revocation loses: tearing down a mirror session abandons
+   the egress queue's in-flight clone window.  Modeled as one flush
+   window of the session's mirrored rate, at a nominal frame size. *)
+let revocation_flush_window = 0.05 (* seconds *)
+let revocation_frame_size = 800.0
+
 let revoke t (grant, since) =
   credit t grant ~since;
   Obs.Registry.incr (revocations_counter (Switch.site_name t.switch));
+  (* Attribute the flush loss before the session (and its rate) is
+     gone.  attribute_lost adds to both offered and the cause cell, so
+     the ledger's conservation identity stays balanced. *)
+  if Obs.Ledger.enabled () then begin
+    let rate = Switch.mirrored_rate t.switch grant.g_mirror in
+    if rate > 0.0 then begin
+      let bytes = rate *. revocation_flush_window in
+      Obs.Ledger.attribute_lost Obs.Ledger.default
+        ~site:(Switch.site_name t.switch) ~cause:Obs.Ledger.Mirror_revoked
+        ~frames:(bytes /. revocation_frame_size) ~bytes ()
+    end
+  end;
   Switch.remove_mirror t.switch grant.g_mirror
 
 let cancel t ~user ~src_port =

@@ -123,3 +123,6 @@ let run ?(seed = 42) config ~offered_rate ~frame_size ~duration =
     throttled_seconds = !throttled_time;
     writev_latency = writev_hist;
   }
+
+(* This path's identity in the loss-attribution ledger. *)
+let host_path = Obs.Ledger.Dpdk

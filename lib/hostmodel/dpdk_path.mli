@@ -54,3 +54,6 @@ val run :
 val capacity_rate : config -> frame_size:int -> float
 (** Offered bit rate at which the configured cores saturate (ignoring
     the storage bottleneck). *)
+
+val host_path : Obs.Ledger.host_path
+(** This path's identity ([Dpdk]) in the loss-attribution ledger. *)

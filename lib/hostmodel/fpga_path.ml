@@ -60,3 +60,6 @@ let host_relief config ~offered_pps ~avg_frame_size =
   let pps = offered_pps /. float_of_int config.sample_1_in in
   let stored = Float.min (float_of_int config.truncation) avg_frame_size in
   (pps, pps *. stored)
+
+(* This path's identity in the loss-attribution ledger. *)
+let host_path = Obs.Ledger.Fpga

@@ -35,3 +35,6 @@ val host_relief : config -> offered_pps:float -> avg_frame_size:float -> float *
 (** [(pps, bytes_per_sec)] that reach the host after offload, given an
     offered load and assuming the filter passes everything (upper
     bound). *)
+
+val host_path : Obs.Ledger.host_path
+(** This path's identity ([Fpga]) in the loss-attribution ledger. *)

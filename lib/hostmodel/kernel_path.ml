@@ -48,3 +48,6 @@ let run ?(seed = 7) ?(profile = Host_profile.default) ?(snaplen = 64)
 
 let lossless_bound ?(profile = Host_profile.default) ~frame_size () =
   Units.bps_of_pps (Host_profile.kernel_capacity_pps profile) ~frame_bytes:frame_size
+
+(* This path's identity in the loss-attribution ledger. *)
+let host_path = Obs.Ledger.Kernel

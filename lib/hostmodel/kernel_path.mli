@@ -28,3 +28,6 @@ val run :
 
 val lossless_bound : ?profile:Host_profile.t -> frame_size:int -> unit -> float
 (** Highest offered bit rate the path captures without sustained loss. *)
+
+val host_path : Obs.Ledger.host_path
+(** This path's identity ([Kernel]) in the loss-attribution ledger. *)

@@ -131,14 +131,21 @@ let series_json ?tsdb ~collector ~since ~until ~name ~labels () =
              keys) );
     ]
 
+let ( let* ) r f =
+  match r with
+  | Error why -> Http.response ~status:400 (why ^ "\n")
+  | Ok v -> f v
+
 let series ?tsdb ~collector req =
-  let ( let* ) r f =
-    match r with
-    | Error why -> Http.response ~status:400 (why ^ "\n")
-    | Ok v -> f v
-  in
   let* since = Http.float_param req "since" in
   let* until = Http.float_param req "until" in
   let* labels = label_params req in
   let name = Http.query_param req "name" in
   json_response (series_json ?tsdb ~collector ~since ~until ~name ~labels ())
+
+(* The /lossmap.json endpoint: the loss-attribution ledger's closed
+   occasions, same 400-on-malformed contract as /series.json. *)
+let lossmap ?(ledger = Ledger.default) req =
+  let* occasion = Http.int_param req "occasion" in
+  let site = Http.query_param req "site" in
+  json_response (Ledger.to_json ?site ?occasion ledger)

@@ -1,0 +1,17 @@
+(** History-backed JSON endpoints shared by the live service and its
+    socket smoke tests.
+
+    Living in [obs] (rather than the service binary) means the exact
+    handlers — parameter validation included — are what the tests
+    exercise.  Malformed query parameters are answered with 400. *)
+
+val series :
+  ?tsdb:Tsdb.t -> collector:Series.Collector.t -> Http.request -> Http.response
+(** The [/series.json] handler: the collector's rolling in-memory
+    windows unified with on-disk {!Tsdb} history older than what memory
+    retains, filtered by [?since=]/[?until=]/[?name=]/[?label=k=v]. *)
+
+val lossmap : ?ledger:Ledger.t -> Http.request -> Http.response
+(** The [/lossmap.json] handler: the ledger's closed occasions
+    ({!Ledger.to_json}), filtered by [?site=]/[?occasion=SEQ].
+    Defaults to {!Ledger.default}. *)

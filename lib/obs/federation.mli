@@ -1,0 +1,55 @@
+(** Federated scrape plane: pull per-site /metrics endpoints together.
+
+    The paper's testbed is federated — capture runs at many sites and
+    the operator needs one pane of glass.  A {!t} holds scrape targets;
+    each {!scrape} round GETs every target's Prometheus text, rewrites
+    samples with a ["site"] label and mirrors them as gauges into the
+    federation's own registry, over which a dedicated collector derives
+    site-scoped trend series.  Staleness is first-class: every round
+    sets [up{site}] and [scrape_duration_seconds{site}] and pushes
+    [scrape_age_seconds{site}].  A dead target is logged and skipped,
+    never blocking the other sites.
+
+    The federation keeps its own registry/collector rather than writing
+    into [Registry.default]: scraped values are foreign cumulative
+    counters (settable only as gauges), and delta baselines are
+    per-registry, so mixing planes would corrupt the local series. *)
+
+type target = {
+  site : string;
+  host : string;
+  port : int;
+  path : string;
+}
+
+val target : ?host:string -> ?path:string -> site:string -> port:int -> unit -> target
+(** Defaults: host [127.0.0.1], path [/metrics]. *)
+
+val target_of_string : string -> (target, string) result
+(** Parse ["SITE=HOST:PORT[/path]"] or ["SITE=PORT"] (host defaults to
+    loopback, path to [/metrics]).  The host must be a literal IP
+    address — the scrape client does no name resolution. *)
+
+val target_to_string : target -> string
+
+type t
+
+val create :
+  ?capacity:int -> ?timeout_s:float -> ?log:(string -> unit) -> target list -> t
+(** [capacity] is the per-series window of the federation's collector
+    (default 512); [timeout_s] bounds each scrape (default 2s). *)
+
+val targets : t -> target list
+
+val registry : t -> Registry.t
+(** The federation's own registry of site-labelled scraped gauges. *)
+
+val collector : t -> Series.Collector.t
+
+val rounds : t -> int
+
+val scrape :
+  t -> at:float -> (string * Registry.labels * Series.point) list
+(** One scrape round over every target; returns every point this round
+    pushed — derived site-scoped series plus the [up]/
+    [scrape_age_seconds] staleness series — for persistence. *)

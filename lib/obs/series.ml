@@ -294,7 +294,48 @@ module Collector = struct
             bins
         in
         let v = Option.value ~default:0.0 (quantile_of_bins 0.99 deltas) in
-        record "pool_queue_wait_p99" [] v)
+        record "pool_queue_wait_p99" [] v);
+      (* Loss-attribution ledger series.  One point per side of the
+         conservation identity per collect, so the invariant stays
+         checkable from persisted history alone: per (site, at),
+         ledger_offered_frames = ledger_stored_frames +
+         Σ loss_attributed_frames{cause} (untouched cells pushed no
+         point and contribute zero; downsampled buckets are
+         sum-preserving, so the identity survives compaction too). *)
+      let ledger_sites =
+        List.filter_map
+          (fun (s : Registry.sample) ->
+            if s.Registry.s_name = "ledger_offered_frames_total" then
+              List.assoc_opt "site" s.Registry.s_labels
+            else None)
+          snap
+      in
+      List.iter
+        (fun site ->
+          let l = [ ("site", site) ] in
+          let offered = delta "ledger_offered_frames_total" l in
+          if offered > 0.0 then begin
+            record "ledger_offered_frames" l offered;
+            record "ledger_offered_bytes" l
+              (delta "ledger_offered_bytes_total" l);
+            record "ledger_stored_frames" l
+              (delta "ledger_stored_frames_total" l);
+            record "ledger_stored_bytes" l
+              (delta "ledger_stored_bytes_total" l)
+          end)
+        (List.sort_uniq compare ledger_sites);
+      List.iter
+        (fun (s : Registry.sample) ->
+          if s.Registry.s_name = "ledger_attributed_frames_total" then begin
+            let l = s.Registry.s_labels in
+            let frames = delta "ledger_attributed_frames_total" l in
+            let bytes = delta "ledger_attributed_bytes_total" l in
+            if frames <> 0.0 || bytes <> 0.0 then begin
+              record "loss_attributed_frames" l frames;
+              record "loss_attributed_bytes" l bytes
+            end
+          end)
+        snap
     end;
     (* Refresh the baseline for the next collect. *)
     Hashtbl.reset t.prev;

@@ -1,0 +1,381 @@
+(* The loss-attribution ledger: conservation as a property, exemplar
+   determinism under sharding, page-cache attribution, and the
+   /lossmap.json contract. *)
+
+module L = Obs.Ledger
+module J = Obs.Export.Json
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* --- cause taxonomy --- *)
+
+let test_cause_labels () =
+  List.iter
+    (fun c ->
+      check
+        (Alcotest.option
+           (Alcotest.testable
+              (fun fmt c -> Format.pp_print_string fmt (L.cause_label c))
+              ( = )))
+        (L.cause_label c) (Some c)
+        (L.cause_of_label (L.cause_label c)))
+    L.all_causes;
+  checkb "labels distinct" true
+    (let ls = List.map L.cause_label L.all_causes in
+     List.length (List.sort_uniq compare ls) = List.length ls);
+  checkb "unknown label" true (L.cause_of_label "cosmic_rays" = None)
+
+(* --- conservation: balanced close, violation detection --- *)
+
+let balanced_sample l ~site =
+  L.record_sample l ~site ~offered_frames:1000.0 ~offered_bytes:8.0e5
+    ~stored_frames:900.0 ~stored_bytes:7.0e5
+    ~keys:[ "k1"; "k2" ]
+    [
+      (L.Switch_drop, 60.0, 5.0e4);
+      (L.Host_drop L.Kernel, 40.0, 3.0e4);
+      (L.Truncated, 0.0, 2.0e4);
+    ]
+
+let test_conservation_close () =
+  let l = L.create () in
+  L.begin_occasion l ~at:100.0;
+  balanced_sample l ~site:"STAR";
+  balanced_sample l ~site:"TACC";
+  let e = L.close_occasion l in
+  check Alcotest.int "two sites" 2 (List.length e.L.o_sites);
+  List.iter
+    (fun (s : L.site_entry) ->
+      checkb (s.L.e_site ^ " conserved") true s.L.e_conserved;
+      check (Alcotest.float 1e-9) "frames residual" 0.0 s.L.e_frames_residual)
+    e.L.o_sites;
+  (* A second close is a fresh (empty) occasion with the next seq. *)
+  let e2 = L.close_occasion l in
+  check Alcotest.int "seq advances" 1 e2.L.o_seq;
+  check Alcotest.int "accumulation cleared" 0 (List.length e2.L.o_sites);
+  check Alcotest.int "history retained" 2 (List.length (L.history l))
+
+let test_violation_detected () =
+  let was_strict = L.strict () in
+  Fun.protect
+    ~finally:(fun () -> L.set_strict was_strict)
+    (fun () ->
+      let violations () =
+        match
+          Obs.Registry.value Obs.Registry.default
+            "ledger_conservation_violations_total"
+        with
+        | Some (Obs.Registry.Counter v) -> v
+        | _ -> 0.0
+      in
+      let l = L.create () in
+      L.begin_occasion l ~at:0.0;
+      (* 100 offered frames vanish without an attributed cause. *)
+      L.record_sample l ~site:"STAR" ~offered_frames:1000.0
+        ~offered_bytes:8.0e5 ~stored_frames:900.0 ~stored_bytes:8.0e5 [];
+      L.set_strict false;
+      let logged = ref [] in
+      let before = violations () in
+      let e = L.close_occasion ~log:(fun m -> logged := m :: !logged) l in
+      let s = List.hd e.L.o_sites in
+      checkb "not conserved" false s.L.e_conserved;
+      check (Alcotest.float 1e-9) "residual is the leak" 100.0
+        s.L.e_frames_residual;
+      checkb "violation counted" true (violations () = before +. 1.0);
+      checkb "violation logged" true (!logged <> []);
+      (* The same leak under strict mode raises. *)
+      L.set_strict true;
+      L.begin_occasion l ~at:0.0;
+      L.record_sample l ~site:"STAR" ~offered_frames:1000.0
+        ~offered_bytes:8.0e5 ~stored_frames:900.0 ~stored_bytes:8.0e5 [];
+      checkb "strict close raises" true
+        (match L.close_occasion l with
+        | exception L.Conservation_violation _ -> true
+        | _ -> false))
+
+(* --- exemplar determinism --- *)
+
+(* The reservoir is a pure function of the candidate key set: the K
+   unsigned-smallest priorities under the (site, occasion-start) seed,
+   ties toward the smaller key. *)
+let expected_exemplars ~site ~at ~k keys =
+  let seed = L.seed_for ~site ~at in
+  List.sort_uniq compare keys
+  |> List.map (fun key -> (L.priority ~seed key, key))
+  |> List.sort (fun (p, a) (q, b) ->
+         let c = Int64.unsigned_compare p q in
+         if c <> 0 then c else String.compare a b)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd
+
+let exemplars_of_entry (e : L.occasion_entry) ~site ~cause =
+  match List.find_opt (fun (s : L.site_entry) -> s.L.e_site = site) e.L.o_sites with
+  | None -> []
+  | Some s ->
+    List.concat_map
+      (fun (c, _, _, exs) -> if c = cause then exs else [])
+      s.L.e_causes
+
+(* Feed the same key multiset through [shards] record_sample calls,
+   round-robin, in the given traversal order. *)
+let run_sharded ~k ~at ~site ~shards keys =
+  let l = L.create ~exemplars:k () in
+  L.begin_occasion l ~at;
+  let buckets = Array.make shards [] in
+  List.iteri
+    (fun i key -> buckets.(i mod shards) <- key :: buckets.(i mod shards))
+    keys;
+  Array.iter
+    (fun ks ->
+      L.record_sample l ~site ~offered_frames:1.0 ~offered_bytes:0.0
+        ~stored_frames:0.0 ~stored_bytes:0.0 ~keys:ks
+        [ (L.Switch_drop, 1.0, 0.0) ])
+    buckets;
+  exemplars_of_entry (L.close_occasion l) ~site ~cause:L.Switch_drop
+
+let qcheck_exemplars_deterministic =
+  QCheck.Test.make ~count:200
+    ~name:"exemplar reservoir independent of sharding and order"
+    QCheck.(
+      pair (int_range 1 6)
+        (small_list (string_gen_of_size (Gen.int_range 1 12) Gen.printable)))
+    (fun (k, keys) ->
+      let at = 2.5e6 and site = "STAR" in
+      let reference = expected_exemplars ~site ~at ~k keys in
+      List.for_all
+        (fun shards -> run_sharded ~k ~at ~site ~shards keys = reference)
+        [ 1; 2; 4 ]
+      && run_sharded ~k ~at ~site ~shards:2 (List.rev keys) = reference)
+
+(* --- conservation property over the capture arithmetic --- *)
+
+let breakdown_gen =
+  QCheck.Gen.(
+    let* offered = map float_of_int (int_bound 2_000_000) in
+    let* dur10 = int_range 1 300 in
+    let* avg = map (fun i -> 60.0 +. float_of_int i) (int_bound 8940) in
+    let* dropc = int_bound 100 in
+    let* congested = bool in
+    let* capacity = map float_of_int (int_bound 2_000_000) in
+    let* thr = int_bound 100 in
+    let* trunc = oneofl [ 64; 200; 1514; 9000 ] in
+    let* path = oneofl [ L.Kernel; L.Dpdk; L.Fpga ] in
+    return
+      ( offered,
+        0.1 *. float_of_int dur10,
+        avg,
+        float_of_int dropc /. 100.0,
+        congested,
+        capacity,
+        0.02 +. (0.98 *. float_of_int thr /. 100.0),
+        trunc,
+        path ))
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun samples ->
+      String.concat ";\n"
+        (List.map
+           (fun (o, d, a, f, c, cap, th, tr, _) ->
+             Printf.sprintf
+               "offered=%g dur=%g avg=%g drop=%g congested=%b cap=%g \
+                throttle=%g trunc=%d"
+               o d a f c cap th tr)
+           samples))
+    QCheck.Gen.(list_size (int_range 1 20) breakdown_gen)
+
+let qcheck_conservation_adversarial =
+  QCheck.Test.make ~count:300
+    ~name:"conservation invariant under adversarial capture streams"
+    arb_stream
+    (fun samples ->
+      let l = L.create () in
+      L.begin_occasion l ~at:1.0e6;
+      let sites = [| "STAR"; "TACC"; "UTAH" |] in
+      List.iteri
+        (fun i
+             ( offered_pps,
+               duration,
+               avg_frame_size,
+               switch_drop_frac,
+               congested,
+               capacity_pps,
+               throttle,
+               truncation,
+               host_path ) ->
+          let b =
+            Patchwork.Capture.loss_breakdown ~offered_pps ~duration
+              ~avg_frame_size ~switch_drop_frac ~congested ~capacity_pps
+              ~throttle ~truncation ~host_path
+          in
+          let site = sites.(i mod Array.length sites) in
+          L.record_sample l ~site
+            ~offered_frames:b.Patchwork.Capture.b_offered_frames
+            ~offered_bytes:b.Patchwork.Capture.b_offered_bytes
+            ~stored_frames:b.Patchwork.Capture.b_captured_frames
+            ~stored_bytes:b.Patchwork.Capture.b_stored_wire_bytes
+            ~keys:[ Printf.sprintf "flow-%d" i ]
+            b.Patchwork.Capture.b_causes;
+          (* Out-of-band loss must keep the invariant balanced too. *)
+          if i mod 3 = 0 then
+            L.attribute_lost l ~site ~cause:L.Mirror_revoked
+              ~frames:(float_of_int (i * 7))
+              ~bytes:(float_of_int (i * 5600))
+              ())
+        samples;
+      (* Strict mode is on for the whole suite: a violating close would
+         raise rather than return. *)
+      let e = L.close_occasion l in
+      List.for_all (fun (s : L.site_entry) -> s.L.e_conserved) e.L.o_sites)
+
+(* --- real occasions: determinism across pool sizes --- *)
+
+let run_occasion ?(config = fun c -> c) ?(site = "STAR") ~pool_size seed =
+  L.reset L.default;
+  let start_time = 30.0 *. Netcore.Timebase.day in
+  Parallel.Pool.with_pool ~size:pool_size @@ fun pool ->
+  let engine = Simcore.Engine.create ~start_time () in
+  let fabric = Testbed.Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create ~pool fabric ~seed in
+  let base =
+    {
+      Patchwork.Config.default with
+      Patchwork.Config.mode =
+        Patchwork.Config.Single_experiment
+          [ (site, Testbed.Fablib.all_ports fabric ~site) ];
+      samples_per_run = 2;
+      max_frames_per_sample = 500;
+      pool_size = Parallel.Pool.size pool;
+    }
+  in
+  let report =
+    Patchwork.Coordinator.run_occasion ~fabric ~driver ~config:(config base)
+      ~pool ~start_time ~duration:1800.0 ()
+  in
+  (report, J.to_string (L.to_json L.default))
+
+let test_occasion_pool_determinism () =
+  let _, j1 = run_occasion ~pool_size:1 77 in
+  let _, j2 = run_occasion ~pool_size:2 77 in
+  let _, j4 = run_occasion ~pool_size:4 77 in
+  checkb "ledger json nonempty" true (String.length j1 > 2);
+  check Alcotest.string "pool 1 = pool 2" j1 j2;
+  check Alcotest.string "pool 1 = pool 4" j1 j4;
+  (* The occasion actually exercised the ledger. *)
+  match L.last L.default with
+  | None -> Alcotest.fail "no closed occasion in the default ledger"
+  | Some e ->
+    let star =
+      List.find_opt (fun (s : L.site_entry) -> s.L.e_site = "STAR") e.L.o_sites
+    in
+    (match star with
+    | None -> Alcotest.fail "no STAR entry"
+    | Some s ->
+      checkb "offered frames recorded" true (s.L.e_offered_frames > 0.0);
+      checkb "conserved" true s.L.e_conserved)
+
+(* --- page-cache throttling lands in the ledger --- *)
+
+let test_page_cache_attribution () =
+  (* 1 MB of cache that essentially never drains, behind a kernel path
+     slow enough that a throttled keep rate actually bites. *)
+  let tiny =
+    {
+      Hostmodel.Host_profile.default with
+      Hostmodel.Host_profile.ram_bytes = 1.0e8;
+      free_cache_fraction = 0.01;
+      storage_drain_rate = 1.0;
+      kernel_fixed_cost = 5.0e-4;  (* ~2k pps capacity *)
+    }
+  in
+  let _, _ =
+    run_occasion ~site:"ATLA"
+      ~config:(fun c ->
+        {
+          c with
+          Patchwork.Config.host_profile = tiny;
+          model_page_cache = true;
+        })
+      ~pool_size:1 77
+  in
+  match L.last L.default with
+  | None -> Alcotest.fail "no closed occasion"
+  | Some e ->
+    let throttled =
+      List.exists
+        (fun (s : L.site_entry) ->
+          List.exists
+            (fun (c, frames, _, _) -> c = L.Page_cache_throttle && frames > 0.0)
+            s.L.e_causes)
+        e.L.o_sites
+    in
+    checkb "page-cache throttle attributed" true throttled;
+    List.iter
+      (fun (s : L.site_entry) -> checkb "conserved" true s.L.e_conserved)
+      e.L.o_sites
+
+(* --- /lossmap.json agrees with the in-process ledger --- *)
+
+let lossmap_req query =
+  { Obs.Http.meth = "GET"; path = "/lossmap.json"; query; headers = [] }
+
+let test_lossmap_endpoint () =
+  let l = L.create () in
+  L.begin_occasion l ~at:100.0;
+  balanced_sample l ~site:"STAR";
+  ignore (L.close_occasion l);
+  L.begin_occasion l ~at:200.0;
+  balanced_sample l ~site:"TACC";
+  ignore (L.close_occasion l);
+  let body query =
+    let r = Obs.Endpoints.lossmap ~ledger:l (lossmap_req query) in
+    (r.Obs.Http.status, r.Obs.Http.body)
+  in
+  (* Unfiltered body is exactly the ledger's own rendering. *)
+  let status, b = body [] in
+  check Alcotest.int "200" 200 status;
+  check Alcotest.string "body = ledger json" (J.to_string (L.to_json l) ^ "\n")
+    b;
+  (* Occasion and site filters. *)
+  let _, b0 = body [ ("occasion", "0") ] in
+  checkb "occasion filter keeps seq 0" true
+    (match J.parse b0 with
+    | Ok doc -> (
+      match J.member "occasions" doc with
+      | Some (J.Arr [ occ ]) ->
+        Option.bind (J.member "seq" occ) J.to_float = Some 0.0
+      | _ -> false)
+    | Error _ -> false);
+  let _, bs = body [ ("site", "TACC") ] in
+  checkb "site filter drops other occasions" true
+    (match J.parse bs with
+    | Ok doc -> (
+      match J.member "occasions" doc with
+      | Some (J.Arr [ occ ]) ->
+        Option.bind (J.member "seq" occ) J.to_float = Some 1.0
+      | _ -> false)
+    | Error _ -> false);
+  (* Malformed filter is a 400, not a crash. *)
+  let status, _ = body [ ("occasion", "abc") ] in
+  check Alcotest.int "malformed occasion is 400" 400 status
+
+let suites =
+  [
+    ( "ledger",
+      [
+        Alcotest.test_case "cause labels round-trip" `Quick test_cause_labels;
+        Alcotest.test_case "balanced occasions close conserved" `Quick
+          test_conservation_close;
+        Alcotest.test_case "violations detected, counted, strict-raised" `Quick
+          test_violation_detected;
+        QCheck_alcotest.to_alcotest qcheck_exemplars_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_conservation_adversarial;
+        Alcotest.test_case "occasion ledger identical at pools 1/2/4" `Slow
+          test_occasion_pool_determinism;
+        Alcotest.test_case "page-cache throttling attributed" `Slow
+          test_page_cache_attribution;
+        Alcotest.test_case "/lossmap.json agrees with the ledger" `Quick
+          test_lossmap_endpoint;
+      ] );
+  ]

@@ -1,4 +1,7 @@
 let () =
+  (* Conservation violations anywhere in the suite are hard failures:
+     every occasion any test runs closes its ledger under strict mode. *)
+  Obs.Ledger.set_strict true;
   Alcotest.run "patchwork"
     (List.concat
        [
@@ -23,4 +26,5 @@ let () =
          Test_live.suites;
          Test_tsdb.suites;
          Test_pipeline.suites;
+         Test_ledger.suites;
        ])

@@ -229,7 +229,7 @@ let test_capture_produces_acaps () =
       let rng = Netcore.Rng.create 5 in
       let sample =
         Capture.run ~fabric ~resolver ~config:Config.default ~rng ~site ~mirror
-          ~mirrored_port:port
+          ~mirrored_port:port ()
       in
       let n = List.length sample.Capture.acaps in
       (* 1e8 B/s of 1514B frames for 20s ~ 1321 fps * 20 = 26k, capped at
@@ -258,6 +258,7 @@ let test_capture_filter_restricts () =
       let config = { Config.default with Config.filter } in
       let sample =
         Capture.run ~fabric ~resolver ~config ~rng ~site ~mirror ~mirrored_port:port
+          ()
       in
       Alcotest.(check int) "tcp flow filtered out" 0
         (List.length sample.Capture.acaps))
@@ -270,6 +271,7 @@ let test_capture_emits_valid_pcap () =
       in
       let sample =
         Capture.run ~fabric ~resolver ~config ~rng ~site ~mirror ~mirrored_port:port
+          ()
       in
       match sample.Capture.pcap with
       | None -> Alcotest.fail "expected pcap bytes"
@@ -290,12 +292,12 @@ let test_capture_anonymizes () =
       let rng = Netcore.Rng.create 5 in
       let plain =
         Capture.run ~fabric ~resolver ~config:Config.default ~rng:(Netcore.Rng.copy rng)
-          ~site ~mirror ~mirrored_port:port
+          ~site ~mirror ~mirrored_port:port ()
       in
       let anon_config = { Config.default with Config.anonymize = true } in
       let anon =
         Capture.run ~fabric ~resolver ~config:anon_config ~rng:(Netcore.Rng.copy rng)
-          ~site ~mirror ~mirrored_port:port
+          ~site ~mirror ~mirrored_port:port ()
       in
       match (plain.Capture.acaps, anon.Capture.acaps) with
       | p :: _, a :: _ ->
@@ -323,7 +325,7 @@ let test_capture_congestion_detection () =
     let rng = Netcore.Rng.create 5 in
     let sample =
       Capture.run ~fabric ~resolver:(Traffic.Driver.resolver driver)
-        ~config:Config.default ~rng ~site ~mirror ~mirrored_port:downlink
+        ~config:Config.default ~rng ~site ~mirror ~mirrored_port:downlink ()
     in
     Alcotest.(check bool) "congestion detected" true
       sample.Capture.stats.Capture.congestion_detected
