@@ -57,11 +57,11 @@ let wall f =
    table (sorted by flow id, full structural content) and the total
    bytes the switch counters saw — the latter covers flows that already
    detached. *)
-let synthesis_fingerprint ~pool_size ~slab =
+let synthesis_run ~pool_size ~slab ~batch_events =
   Parallel.Pool.with_pool ~size:pool_size @@ fun pool ->
   let engine = Simcore.Engine.create () in
   let fabric = Testbed.Fablib.create ~seed:7 engine in
-  let driver = Traffic.Driver.create ~pool ~slab fabric ~seed:7 in
+  let driver = Traffic.Driver.create ~pool ~slab ~batch_events fabric ~seed:7 in
   Traffic.Driver.start driver ~until:5400.0;
   Simcore.Engine.run ~until:5400.0 engine;
   let specs = ref [] in
@@ -88,7 +88,13 @@ let synthesis_fingerprint ~pool_size ~slab =
         compare a.Traffic.Flow_model.flow_id b.Traffic.Flow_model.flow_id)
       !specs
   in
-  (Traffic.Driver.spawned_flows driver, specs, !tx)
+  ( (Traffic.Driver.spawned_flows driver, specs, !tx),
+    Simcore.Engine.executed engine,
+    Simcore.Engine.batched_total engine )
+
+let synthesis_fingerprint ~pool_size ~slab =
+  let fp, _, _ = synthesis_run ~pool_size ~slab ~batch_events:true in
+  fp
 
 let () =
   let weeks = getenv_int "PATCHWORK_BENCH_WEEKS" 3 in
@@ -146,6 +152,29 @@ let () =
         pool_size slab spawned same)
     [ (2, 900.0); (4, 900.0); (4, 300.0); (1, 7200.0) ];
 
+  (* Batched vs per-event engine replay: the same arrivals enter the
+     engine as one pre-sorted block per site-slab instead of one heap
+     push and one closure each.  Identity (fingerprint and executed
+     event count) is the pass/fail signal; events/sec is recorded for
+     the multicore trend — on a single-core container the speedup may
+     not materialize. *)
+  let (fp_batched, ex_batched, batched_total), batched_wall =
+    wall (fun () -> synthesis_run ~pool_size:1 ~slab:900.0 ~batch_events:true)
+  in
+  let (fp_unbatched, ex_unbatched, _), unbatched_wall =
+    wall (fun () -> synthesis_run ~pool_size:1 ~slab:900.0 ~batch_events:false)
+  in
+  let batch_identical = fp_batched = fp_unbatched && ex_batched = ex_unbatched in
+  let evps ex w = float_of_int ex /. Float.max 1e-9 w in
+  Printf.printf
+    "events batched:   %9.0f events/s (%d executed, %d via schedule_batch)  \
+     identical=%b\n%!"
+    (evps ex_batched batched_wall)
+    ex_batched batched_total batch_identical;
+  Printf.printf "events per-event: %9.0f events/s (%d executed)\n%!"
+    (evps ex_unbatched unbatched_wall)
+    ex_unbatched;
+
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -167,6 +196,19 @@ let () =
                 ("max_queue_depth", J.Num (float_of_int stats.Patchwork.Pipeline.max_depth));
                 ("identical", J.Bool identical);
                 ("synthesis_identical", J.Bool !synth_identical);
+                ( "events",
+                  J.Obj
+                    [
+                      ("executed", J.Num (float_of_int ex_batched));
+                      ("batched_total", J.Num (float_of_int batched_total));
+                      ("batched_wall_s", J.Num batched_wall);
+                      ("unbatched_wall_s", J.Num unbatched_wall);
+                      ( "batched_events_per_s",
+                        J.Num (evps ex_batched batched_wall) );
+                      ( "unbatched_events_per_s",
+                        J.Num (evps ex_unbatched unbatched_wall) );
+                      ("identical", J.Bool batch_identical);
+                    ] );
               ]));
       output_char oc '\n');
   Printf.printf "wrote BENCH_pipeline.json\n%!";
@@ -177,5 +219,9 @@ let () =
   if not !synth_identical then begin
     Printf.printf
       "FAIL: traffic synthesis diverged across pool sizes / slab lengths\n";
+    exit 1
+  end;
+  if not batch_identical then begin
+    Printf.printf "FAIL: batched event replay diverged from per-event replay\n";
     exit 1
   end

@@ -107,6 +107,16 @@ let print_flow_cache_summary () =
       (counter_value "flow_cache_evictions_total")
       (100.0 *. hits /. lookups)
 
+(* Companion line for the overlay cursor (the digest's default path):
+   how many frames stayed on the zero-alloc fast path. *)
+let print_overlay_summary () =
+  let classified = counter_value "overlay_classified_total" in
+  let fallbacks = counter_value "overlay_fallbacks_total" in
+  let total = classified +. fallbacks in
+  if total > 0.0 then
+    Printf.printf "overlay dissection: %.0f frames, %.0f fallbacks\n" classified
+      fallbacks
+
 (* --- profile --- *)
 
 let run_profile_occasion ~seed ~hours ~site ~max_frames pool =
@@ -336,6 +346,7 @@ let analyze_cmd =
       Printf.printf "wrote CSVs under %s\n" dir
     end);
     print_flow_cache_summary ();
+    print_overlay_summary ();
     write_metrics metrics_out metrics_format
   in
   let info = Cmd.info "analyze" ~doc:"Run the offline analysis over a pcap" in
@@ -634,6 +645,7 @@ let weekly_cmd =
         dir
     | _ -> ());
     print_flow_cache_summary ();
+    print_overlay_summary ();
     write_metrics metrics_out metrics_format;
     let actives =
       match live with
@@ -1033,20 +1045,21 @@ let print_loss_waterfall metrics =
         (if !violations = 1.0 then "" else "s")
   end
 
+let metrics_value metrics name =
+  List.fold_left
+    (fun acc m ->
+      match
+        (Option.bind (J.member "name" m) J.to_str,
+         Option.bind (J.member "value" m) J.to_float)
+      with
+      | Some n, Some v when n = name -> acc +. v
+      | _ -> acc)
+    0.0 metrics
+
 (* Flow-cache hit rate from the snapshot's digest counters; silent when
    the run never enabled the cache. *)
 let print_cache_line metrics =
-  let value name =
-    List.fold_left
-      (fun acc m ->
-        match
-          (Option.bind (J.member "name" m) J.to_str,
-           Option.bind (J.member "value" m) J.to_float)
-        with
-        | Some n, Some v when n = name -> acc +. v
-        | _ -> acc)
-      0.0 metrics
-  in
+  let value = metrics_value metrics in
   let hits = value "flow_cache_hits_total" in
   let misses = value "flow_cache_misses_total" in
   let lookups = hits +. misses in
@@ -1056,6 +1069,25 @@ let print_cache_line metrics =
       hits lookups
       (100.0 *. hits /. lookups)
       (value "flow_cache_collisions_total")
+
+(* Zero-alloc fast-path counters: overlay cursor classifications (with
+   how many frames fell back to the record dissector) and arrival
+   events the driver handed to the engine as pre-sorted batches.
+   Silent when the run never exercised them. *)
+let print_fastpath_lines metrics =
+  let value = metrics_value metrics in
+  let classified = value "overlay_classified_total" in
+  let fallbacks = value "overlay_fallbacks_total" in
+  let total = classified +. fallbacks in
+  if total > 0.0 then
+    Printf.printf
+      "overlay dissection: %.0f/%.0f frames on the cursor fast path (%.0f \
+       fallbacks, %.2f%%)\n"
+      classified total fallbacks
+      (100.0 *. fallbacks /. total);
+  let batched = value "engine_events_batched_total" in
+  if batched > 0.0 then
+    Printf.printf "engine events batched: %.0f\n" batched
 
 let render_report doc =
   (match J.member "spans" doc with
@@ -1068,7 +1100,8 @@ let render_report doc =
   | Some (J.Arr metrics) ->
     print_attribution metrics;
     print_loss_waterfall metrics;
-    print_cache_line metrics
+    print_cache_line metrics;
+    print_fastpath_lines metrics
   | _ -> print_endline "no metrics in snapshot"
 
 let report_cmd =

@@ -125,12 +125,26 @@ let pcap_to_acaps_copying ?(pool = Parallel.Pool.sequential) buf =
      equivalence property compare against it). *)
   Parallel.Pool.map pool Dissect.Acap.of_packet (Packet.Pcapng.read_any buf)
 
-let pcap_to_flows ?(pool = Parallel.Pool.sequential) ?cache_bits buf =
-  (* Fused single pass: each index range streams its dissected records
-     straight into a per-range flow shard, so live memory stays O(flows)
-     instead of O(packets).  Shard merging is exact at unit weight and
-     order-insensitive, hence bit-identical to aggregating the acap
-     list whatever the chunking. *)
+(* Overlay counters, batched once per capture like the cache stats. *)
+let obs_overlay_classified =
+  Obs.Registry.counter Obs.Registry.default "overlay_classified_total"
+    ~help:"Frames classified by the zero-alloc overlay cursor"
+
+let obs_overlay_fallbacks =
+  Obs.Registry.counter Obs.Registry.default "overlay_fallbacks_total"
+    ~help:"Overlay frames deferred to the reference record dissector"
+
+let record_overlay_stats per_range =
+  if Obs.Registry.enabled () then begin
+    let sum f = float_of_int (List.fold_left (fun acc x -> acc + f x) 0 per_range) in
+    Obs.Registry.inc obs_overlay_classified (sum fst);
+    Obs.Registry.inc obs_overlay_fallbacks (sum snd)
+  end
+
+let pcap_to_flows_record ?(pool = Parallel.Pool.sequential) ?cache_bits buf =
+  (* The record-building fused pass, kept as the reference
+     implementation for the overlay path below (bench baseline and
+     equivalence property target). *)
   let cache_bits = effective_cache_bits cache_bits in
   let idx =
     Obs.Span.timed ~stage:"digest.index" (fun () -> Packet.Pcapng.index_any buf)
@@ -178,6 +192,91 @@ let pcap_to_flows ?(pool = Parallel.Pool.sequential) ?cache_bits buf =
               (shard, Dissect.Flow_cache.stats cache)))
     in
     record_cache_stats (List.map snd results);
+    Flows.merge (List.map (fun (s, _) -> (s, 1.0)) results)
+  end
+
+let pcap_to_flows ?(pool = Parallel.Pool.sequential) ?cache_bits buf =
+  (* Fused single pass over the zero-alloc overlay cursor: each index
+     range classifies frames in place through Packet.Slice reads and
+     streams key/ts/bytes/RST straight into a per-range flow shard —
+     no header records, no intermediate acaps, live memory O(flows).
+     The overlay agrees with the record dissector on key and RST for
+     every frame (deep encapsulations fall back to it), so the merge is
+     bit-identical to {!pcap_to_flows_record} at any pool size. *)
+  let cache_bits = effective_cache_bits cache_bits in
+  let idx =
+    Obs.Span.timed ~stage:"digest.index" (fun () -> Packet.Pcapng.index_any buf)
+  in
+  record_decode buf idx;
+  if cache_bits <= 0 then begin
+    let results =
+      Obs.Span.timed ~stage:"digest.overlay" (fun () ->
+          Parallel.Pool.map_ranges pool ~n:(Array.length idx) (fun ~lo ~hi ->
+              let ov = Dissect.Overlay.create () in
+              let shard = Flows.Shard.create () in
+              for i = lo to hi - 1 do
+                let e = idx.(i) in
+                let slice = Packet.Pcap.Reader.slice buf e in
+                Dissect.Overlay.classify ov ~orig_len:e.Packet.Pcap.orig_len
+                  slice;
+                match Dissect.Overlay.key ov with
+                | Some key ->
+                  Flows.Shard.add_keyed shard ~key ~ts:e.Packet.Pcap.ts
+                    ~bytes:e.Packet.Pcap.orig_len
+                    ~rst:(Dissect.Overlay.rst ov)
+                | None -> ()
+              done;
+              (shard, (Dissect.Overlay.classified ov, Dissect.Overlay.fallbacks ov))))
+    in
+    record_overlay_stats (List.map snd results);
+    Flows.merge (List.map (fun (s, _) -> (s, 1.0)) results)
+  end
+  else begin
+    (* Cached overlay pass: hits replay the memoized key as before; the
+       miss path runs the overlay cursor instead of record dissection
+       and installs a key-only entry. *)
+    let results =
+      Obs.Span.timed ~stage:"digest.cache" (fun () ->
+          Parallel.Pool.map_ranges pool ~n:(Array.length idx) (fun ~lo ~hi ->
+              let cache = Dissect.Flow_cache.create ~bits:cache_bits in
+              let ov = Dissect.Overlay.create () in
+              let shard = Flows.Shard.create () in
+              for i = lo to hi - 1 do
+                let e = idx.(i) in
+                let slice = Packet.Pcap.Reader.slice buf e in
+                match Dissect.Flow_cache.lookup cache slice with
+                | Some ent -> (
+                  match Dissect.Flow_cache.hit_flow_key ent with
+                  | Some key ->
+                    Flows.Shard.add_keyed shard ~key ~ts:e.Packet.Pcap.ts
+                      ~bytes:e.Packet.Pcap.orig_len
+                      ~rst:(Dissect.Flow_cache.hit_rst ent slice)
+                  | None -> ())
+                | None ->
+                  Dissect.Overlay.classify ov ~orig_len:e.Packet.Pcap.orig_len
+                    slice;
+                  let key = Dissect.Overlay.key ov in
+                  Dissect.Flow_cache.install_key cache slice
+                    ~truncated:(Dissect.Overlay.truncated ov)
+                    ~cacheable:(Dissect.Overlay.cacheable ov)
+                    ~examined:(Dissect.Overlay.examined ov)
+                    ~flags_off:(Dissect.Overlay.flags_off ov)
+                    ~l3_off:(Dissect.Overlay.l3_off ov)
+                    ~wire_min:(Dissect.Overlay.wire_min ov) ~key;
+                  (match key with
+                  | Some key ->
+                    Flows.Shard.add_keyed shard ~key ~ts:e.Packet.Pcap.ts
+                      ~bytes:e.Packet.Pcap.orig_len
+                      ~rst:(Dissect.Overlay.rst ov)
+                  | None -> ())
+              done;
+              ( shard,
+                ( Dissect.Flow_cache.stats cache,
+                  (Dissect.Overlay.classified ov, Dissect.Overlay.fallbacks ov)
+                ) )))
+    in
+    record_cache_stats (List.map (fun (_, (st, _)) -> st) results);
+    record_overlay_stats (List.map (fun (_, (_, ov)) -> ov) results);
     Flows.merge (List.map (fun (s, _) -> (s, 1.0)) results)
   end
 

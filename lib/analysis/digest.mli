@@ -29,16 +29,25 @@ val pcap_to_acaps_copying :
 
 val pcap_to_flows :
   ?pool:Parallel.Pool.t -> ?cache_bits:int -> bytes -> Flows.summary list
-(** Fused single-pass digest→flows fast path: each index range streams
-    its dissected records straight into a per-range {!Flows.Shard}
-    without materializing the intermediate acap list, keeping live
-    memory O(flows) instead of O(packets).  Bit-identical to
-    [Flows.aggregate (pcap_to_acaps buf)].
+(** Single-pass digest→flows fast path over the zero-alloc overlay
+    cursor ({!Dissect.Overlay}): each index range classifies frames by
+    reading header fields in place through {!Packet.Slice} and streams
+    key/ts/bytes/RST straight into a per-range {!Flows.Shard} — no
+    header records, no intermediate acaps, live memory O(flows).
+    Bit-identical to {!pcap_to_flows_record} (and hence to
+    [Flows.aggregate (pcap_to_acaps buf)]) at any pool size.
 
     With [cache_bits > 0] a flow-cache hit jumps straight to shard
     accounting — interned key, ts/orig_len from the index, RST from the
-    memoized flags offset — with zero intermediate records.  Output is
-    bit-identical to the uncached fused pass at any pool size. *)
+    memoized flags offset — and the miss path runs the overlay cursor
+    and installs a key-only entry.  Output is bit-identical to the
+    uncached pass at any pool size. *)
+
+val pcap_to_flows_record :
+  ?pool:Parallel.Pool.t -> ?cache_bits:int -> bytes -> Flows.summary list
+(** The record-building fused pass (dissect to header records, abstract,
+    then shard) — the reference implementation the overlay path is
+    verified against, and the benchmark baseline. *)
 
 val set_default_cache_bits : int -> unit
 (** Process-wide default for [?cache_bits] (initially 0 = off), so

@@ -23,6 +23,20 @@
    to the uncached path — the cache can change only speed, never
    results, at any pool size. *)
 
+(* The record path installs the full abstract fields so a hit can
+   rebuild an Acap.record; the overlay path needs only the key and the
+   memoized offsets, so its entries skip the record baggage. *)
+type detail =
+  | Full of {
+      e_stack : string list;
+      e_vlan_ids : int list;
+      e_mpls_labels : int list;
+      e_src : string option;
+      e_dst : string option;
+      e_l4 : (int * int) option;
+    }
+  | Key_only
+
 type entry = {
   e_hash : int;
   e_prefix : string;  (* the examined bytes at install time *)
@@ -30,12 +44,7 @@ type entry = {
   e_l3_off : int;  (* innermost IP header offset, -1 without one *)
   e_wire_min : int;  (* outermost IP datagram end, 0 without one *)
   e_flow_key : string option;  (* interned: shared by every hit *)
-  e_stack : string list;
-  e_vlan_ids : int list;
-  e_mpls_labels : int list;
-  e_src : string option;
-  e_dst : string option;
-  e_l4 : (int * int) option;
+  e_detail : detail;
 }
 
 type stats = {
@@ -97,19 +106,26 @@ let hit_rst e slice =
    the memoized flags offset, truncated from the length comparison
    (the extent narrowing cannot fail given cap_len >= e_wire_min). *)
 let hit_record e ~ts ~orig_len slice =
-  {
-    Acap.ts;
-    orig_len;
-    cap_len = Packet.Slice.length slice;
-    stack = e.e_stack;
-    vlan_ids = e.e_vlan_ids;
-    mpls_labels = e.e_mpls_labels;
-    src = e.e_src;
-    dst = e.e_dst;
-    l4 = e.e_l4;
-    tcp_rst = hit_rst e slice;
-    truncated = orig_len > Packet.Slice.length slice;
-  }
+  match e.e_detail with
+  | Full f ->
+    {
+      Acap.ts;
+      orig_len;
+      cap_len = Packet.Slice.length slice;
+      stack = f.e_stack;
+      vlan_ids = f.e_vlan_ids;
+      mpls_labels = f.e_mpls_labels;
+      src = f.e_src;
+      dst = f.e_dst;
+      l4 = f.e_l4;
+      tcp_rst = hit_rst e slice;
+      truncated = orig_len > Packet.Slice.length slice;
+    }
+  | Key_only ->
+    (* Key-only entries come from the overlay flows path, which never
+       asks for records; if an acap caller ever shares such a cache,
+       re-dissect rather than fabricate fields. *)
+    Acap.of_slice ~ts ~orig_len slice
 
 (* The miss path: full dissection, then install when the parse was
    clean.  Truncated frames and parses whose outcome depended on the
@@ -142,17 +158,49 @@ let classify t ~ts ~orig_len slice =
              e_l3_off = meta.Dissector.m_l3_off;
              e_wire_min = meta.Dissector.m_wire_min;
              e_flow_key = Acap.flow_key r;
-             e_stack = r.Acap.stack;
-             e_vlan_ids = r.Acap.vlan_ids;
-             e_mpls_labels = r.Acap.mpls_labels;
-             e_src = r.Acap.src;
-             e_dst = r.Acap.dst;
-             e_l4 = r.Acap.l4;
+             e_detail =
+               Full
+                 {
+                   e_stack = r.Acap.stack;
+                   e_vlan_ids = r.Acap.vlan_ids;
+                   e_mpls_labels = r.Acap.mpls_labels;
+                   e_src = r.Acap.src;
+                   e_dst = r.Acap.dst;
+                   e_l4 = r.Acap.l4;
+                 };
            });
       t.stats.installs <- t.stats.installs + 1
     end
   end;
   r
+
+(* Key-only installs for the overlay flows path: same gating as
+   [classify] (clean, cacheable, non-empty prefix) with the meta fields
+   passed in instead of re-derived, and no record fields stored. *)
+let install_key t slice ~truncated ~cacheable ~examined ~flags_off ~l3_off
+    ~wire_min ~key =
+  if (not truncated) && cacheable then begin
+    let plen = min examined (Packet.Slice.length slice) in
+    if plen > 0 then begin
+      let h = Packet.Slice.prefix_hash slice in
+      let slot = h land t.mask in
+      (match Array.unsafe_get t.slots slot with
+      | Some _ -> t.stats.evictions <- t.stats.evictions + 1
+      | None -> ());
+      Array.unsafe_set t.slots slot
+        (Some
+           {
+             e_hash = h;
+             e_prefix = Packet.Slice.prefix_string slice plen;
+             e_flags_off = flags_off;
+             e_l3_off = l3_off;
+             e_wire_min = wire_min;
+             e_flow_key = key;
+             e_detail = Key_only;
+           });
+      t.stats.installs <- t.stats.installs + 1
+    end
+  end
 
 let record t ~ts ~orig_len slice =
   match lookup t slice with

@@ -71,3 +71,20 @@ val classify : t -> ts:float -> orig_len:int -> Packet.Slice.t -> Acap.record
 val record : t -> ts:float -> orig_len:int -> Packet.Slice.t -> Acap.record
 (** [lookup] then {!hit_record}, falling back to {!classify}: a drop-in
     cached replacement for {!Acap.of_slice}. *)
+
+val install_key :
+  t ->
+  Packet.Slice.t ->
+  truncated:bool ->
+  cacheable:bool ->
+  examined:int ->
+  flags_off:int ->
+  l3_off:int ->
+  wire_min:int ->
+  key:string option ->
+  unit
+(** Install a key-only entry from an overlay classification ({!Overlay}
+    supplies every field).  Gated exactly like {!classify}'s install —
+    nothing is stored for truncated, uncacheable or zero-prefix parses.
+    Key-only entries serve {!hit_flow_key} / {!hit_rst}; {!hit_record}
+    on one re-dissects instead of fabricating record fields. *)

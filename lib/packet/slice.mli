@@ -31,6 +31,20 @@ val get_u8 : t -> int -> int
 val get_u16_be : t -> int -> int
 val get_u32_be : t -> int -> int32
 
+val get_u8_fast : t -> int -> int
+(** One-bounds-check-then-unsafe reads for the overlay dissection
+    cursor: the window check runs exactly once per call, then the bytes
+    are read with [Bytes.unsafe_get] — no second check inside the
+    [Bytes] accessors and, for the 32-bit read, no int32 boxing.
+    Behaviour is identical to the checked accessors on every in-window
+    index and [Invalid_argument] out of window (qcheck'd). *)
+
+val get_u16_be_fast : t -> int -> int
+
+val get_u32_be_fast : t -> int -> int
+(** Returns the big-endian 32-bit field as a plain non-negative [int]
+    (numerically equal to the unsigned value of {!get_u32_be}). *)
+
 val sub : t -> off:int -> len:int -> t
 (** Narrowed view; offsets are slice-relative.  No copy. *)
 

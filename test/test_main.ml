@@ -16,6 +16,7 @@ let () =
          Test_analysis.suites;
          Test_flowstore.suites;
          Test_flowcache.suites;
+         Test_overlay.suites;
          Test_extra.suites;
          Test_p4.suites;
          Test_formats.suites;

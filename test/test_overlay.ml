@@ -1,0 +1,240 @@
+(* The zero-alloc overlay dissection path: slice fast accessors agree
+   with the checked reads, the overlay cursor agrees with the
+   record-building reference dissector on everything the flows path and
+   the cache consume, the overlay digest is bit-identical to the record
+   digest at any pool size, and batched driver replay is bit-identical
+   to per-event replay. *)
+
+module OV = Dissect.Overlay
+module S = Packet.Slice
+module H = Packet.Headers
+module Pool = Parallel.Pool
+
+(* --- Slice fast accessors ≡ checked reads --- *)
+
+let prop_fast_accessors_equal =
+  QCheck.Test.make ~count:200
+    ~name:"Slice fast accessors ≡ checked reads (incl. out-of-window)"
+    QCheck.(triple small_int (int_range 0 24) (int_range (-4) 40))
+    (fun (seed, off, i) ->
+      let rng = Frame_gen.rng_of_seed seed in
+      let buf = Bytes.init 48 (fun _ -> Char.chr (Netcore.Rng.int rng 256)) in
+      let len = min (Netcore.Rng.int rng 24) (48 - off) in
+      let s = S.make buf ~off ~len in
+      let agree checked fast =
+        match checked () with
+        | v -> ( try fast () = v with Invalid_argument _ -> false)
+        | exception Invalid_argument _ -> (
+          match fast () with
+          | _ -> false
+          | exception Invalid_argument _ -> true)
+      in
+      agree (fun () -> S.get_u8 s i) (fun () -> S.get_u8_fast s i)
+      && agree (fun () -> S.get_u16_be s i) (fun () -> S.get_u16_be_fast s i)
+      && agree
+           (fun () ->
+             Int64.to_int
+               (Int64.logand (Int64.of_int32 (S.get_u32_be s i)) 0xFFFFFFFFL))
+           (fun () -> S.get_u32_be_fast s i))
+
+(* --- adversarial captures --- *)
+
+(* Frames with VLAN/MPLS stacks, pseudowire, truncation sweeps, snapped
+   records and malformed IPv4 total_len fields.  The total_len
+   corruption targets the first IPv4 header byte pair at its computed
+   offset, producing both sub-header (< 20, the uncacheable path) and
+   oversized (> capture, the truncated narrowing path) values. *)
+let ipv4_offset stack =
+  let rec go off = function
+    | [] -> None
+    | H.Ethernet _ :: rest -> go (off + 14) rest
+    | H.Vlan _ :: rest -> go (off + 4) rest
+    | H.Mpls _ :: rest -> go (off + 4) rest
+    | H.Pseudowire :: rest -> go (off + 4) rest
+    | H.Ipv4 _ :: _ -> Some off
+    | _ -> None
+  in
+  go 0 stack
+
+let adversarial_frame rng =
+  let stack = Frame_gen.random_stack rng in
+  let b = Packet.Codec.encode
+      (Packet.Frame.make stack ~payload_len:(Netcore.Rng.int rng 200))
+  in
+  let orig = Bytes.length b in
+  (* malformed total_len on a fifth of IPv4 frames *)
+  (match ipv4_offset stack with
+  | Some off when Netcore.Rng.bernoulli rng 0.2 && off + 4 <= Bytes.length b ->
+    let bad =
+      if Netcore.Rng.bool rng then Netcore.Rng.int rng 20 (* below header *)
+      else 2000 + Netcore.Rng.int rng 60000 (* beyond capture *)
+    in
+    Bytes.set_uint16_be b (off + 2) bad
+  | _ -> ());
+  (* snapped records: cut anywhere, including mid-header *)
+  if Netcore.Rng.bernoulli rng 0.3 then
+    let keep = 1 + Netcore.Rng.int rng (Bytes.length b) in
+    (Bytes.sub b 0 keep, orig)
+  else (b, orig)
+
+let adversarial_pcap seed =
+  let rng = Frame_gen.rng_of_seed seed in
+  let w = Packet.Pcap.Writer.create () in
+  let events = 40 + Netcore.Rng.int rng 40 in
+  for i = 0 to events - 1 do
+    let data, orig = adversarial_frame rng in
+    Packet.Pcap.Writer.add w ~ts:(float_of_int i *. 1e-3) ~orig_len:orig data
+  done;
+  Packet.Pcap.Writer.contents w
+
+(* --- per-frame: overlay ≡ record dissection --- *)
+
+let prop_overlay_matches_record_per_frame =
+  QCheck.Test.make ~count:40
+    ~name:"overlay ≡ record per frame (key, RST, meta) over adversarial frames"
+    QCheck.small_int
+    (fun seed ->
+      let buf = adversarial_pcap seed in
+      let idx = Packet.Pcapng.index_any buf in
+      let ov = OV.create () in
+      Array.for_all
+        (fun (e : Packet.Pcap.index_entry) ->
+          let slice = Packet.Pcap.Reader.slice buf e in
+          let orig_len = e.Packet.Pcap.orig_len in
+          OV.classify ov ~orig_len slice;
+          let meta = Dissect.Dissector.fresh_meta () in
+          let d = Dissect.Dissector.dissect_slice_meta ~orig_len ~meta slice in
+          let r =
+            Dissect.Acap.abstract ~ts:e.Packet.Pcap.ts ~orig_len
+              ~cap_len:(S.length slice) ~truncated:d.Dissect.Dissector.truncated
+              d.Dissect.Dissector.headers
+          in
+          OV.key ov = Dissect.Acap.flow_key r
+          && OV.rst ov = r.Dissect.Acap.tcp_rst
+          && OV.flags_off ov = meta.Dissect.Dissector.m_flags_off
+          && OV.l3_off ov = meta.Dissect.Dissector.m_l3_off
+          && OV.wire_min ov = meta.Dissect.Dissector.m_wire_min
+          && OV.cacheable ov = meta.Dissect.Dissector.m_cacheable
+          && OV.examined ov <= meta.Dissect.Dissector.m_examined)
+        idx)
+
+(* --- whole-digest: overlay flows ≡ record flows at pools 1/2/4 --- *)
+
+let prop_overlay_digest_identical =
+  QCheck.Test.make ~count:15
+    ~name:"overlay digest ≡ record digest (pools 1/2/4, uncached + bits 1/6)"
+    QCheck.small_int
+    (fun seed ->
+      let buf = adversarial_pcap seed in
+      let reference = Analysis.Digest.pcap_to_flows_record buf in
+      List.for_all
+        (fun size ->
+          Pool.with_pool ~size (fun pool ->
+              Analysis.Digest.pcap_to_flows ~pool buf = reference
+              && List.for_all
+                   (fun bits ->
+                     Analysis.Digest.pcap_to_flows ~pool ~cache_bits:bits buf
+                     = reference)
+                   [ 1; 6 ]))
+        [ 1; 2; 4 ])
+
+let test_overlay_no_fallback_on_generated_traffic () =
+  (* Generated stacks nest at most one pseudowire re-entry, well inside
+     the overlay's depth budget: everything should take the fast path. *)
+  let buf = adversarial_pcap 42 in
+  let idx = Packet.Pcapng.index_any buf in
+  let ov = OV.create () in
+  Array.iter
+    (fun (e : Packet.Pcap.index_entry) ->
+      OV.classify ov ~orig_len:e.Packet.Pcap.orig_len
+        (Packet.Pcap.Reader.slice buf e))
+    idx;
+  Alcotest.(check int) "all frames classified by the cursor"
+    (Array.length idx) (OV.classified ov);
+  Alcotest.(check int) "no fallbacks" 0 (OV.fallbacks ov)
+
+let test_overlay_fallback_on_deep_nesting () =
+  (* A pathological pw-in-pw-in-pw nest exceeds the depth budget and
+     must defer to the reference dissector — with identical results. *)
+  let rng = Frame_gen.rng_of_seed 7 in
+  let rec nest depth =
+    if depth = 0 then
+      [ Frame_gen.ethernet rng; Frame_gen.ipv4 rng; Frame_gen.udp_for rng None ]
+    else Frame_gen.ethernet rng :: Frame_gen.mpls rng :: H.Pseudowire :: nest (depth - 1)
+  in
+  let stack = nest 5 in
+  let b = Packet.Codec.encode (Packet.Frame.make stack ~payload_len:40) in
+  let slice = S.make b ~off:0 ~len:(Bytes.length b) in
+  let ov = OV.create () in
+  OV.classify ov ~orig_len:(Bytes.length b) slice;
+  Alcotest.(check int) "deep nest falls back" 1 (OV.fallbacks ov);
+  let r = Dissect.Acap.of_slice ~ts:0.0 ~orig_len:(Bytes.length b) slice in
+  Alcotest.(check (option string)) "fallback key identical"
+    (Dissect.Acap.flow_key r) (OV.key ov)
+
+(* --- driver: batched replay ≡ per-event replay --- *)
+
+let batch_fingerprint ~seed ~pool_size ~slab ~batch_events =
+  Pool.with_pool ~size:pool_size @@ fun pool ->
+  let engine = Simcore.Engine.create () in
+  let fabric = Testbed.Fablib.create ~seed engine in
+  let driver = Traffic.Driver.create ~pool ~slab ~batch_events fabric ~seed in
+  Traffic.Driver.start driver ~until:3600.0;
+  Simcore.Engine.run ~until:3600.0 engine;
+  let specs = ref [] in
+  let tx = ref 0.0 in
+  let m = Testbed.Fablib.model fabric in
+  Array.iter
+    (fun (site : Testbed.Info_model.site) ->
+      let name = site.Testbed.Info_model.name in
+      let sw = Testbed.Fablib.switch fabric ~site:name in
+      List.iter
+        (fun port ->
+          tx :=
+            !tx
+            +. (Testbed.Switch.read_counters sw ~port).Testbed.Switch.tx_bytes;
+          List.iter
+            (fun (a : Testbed.Switch.attachment) ->
+              match Traffic.Driver.resolver driver a.Testbed.Switch.flow with
+              | Some spec -> specs := spec :: !specs
+              | None -> ())
+            (Testbed.Switch.attachments sw ~port))
+        (Testbed.Fablib.all_ports fabric ~site:name))
+    m.Testbed.Info_model.sites;
+  let specs =
+    List.sort_uniq
+      (fun (a : Traffic.Flow_model.spec) b ->
+        compare a.Traffic.Flow_model.flow_id b.Traffic.Flow_model.flow_id)
+      !specs
+  in
+  (Traffic.Driver.spawned_flows driver, specs, !tx)
+
+let prop_batched_replay_identical =
+  QCheck.Test.make ~count:5
+    ~name:"batched slab replay ≡ per-event (pools 1/2/4 × slab lengths)"
+    QCheck.(
+      triple (int_range 0 3) (QCheck.oneofl [ 1; 2; 4 ])
+        (QCheck.oneofl [ 300.0; 900.0; 7200.0 ]))
+    (fun (seed, pool_size, slab) ->
+      batch_fingerprint ~seed ~pool_size ~slab ~batch_events:true
+      = batch_fingerprint ~seed ~pool_size ~slab ~batch_events:false)
+
+let suites =
+  [
+    ( "overlay",
+      [
+        Alcotest.test_case "no fallback on generated traffic" `Quick
+          test_overlay_no_fallback_on_generated_traffic;
+        Alcotest.test_case "deep nesting falls back, identically" `Quick
+          test_overlay_fallback_on_deep_nesting;
+      ] );
+    ( "overlay.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_fast_accessors_equal;
+          prop_overlay_matches_record_per_frame;
+          prop_overlay_digest_identical;
+        ] );
+    ( "overlay.batched-driver",
+      [ QCheck_alcotest.to_alcotest prop_batched_replay_identical ] );
+  ]

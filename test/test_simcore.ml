@@ -75,6 +75,127 @@ let test_engine_every () =
      running); run is bounded anyway. *)
   Alcotest.(check bool) "about 4-5 ticks" true (!ticks >= 4 && !ticks <= 5)
 
+(* --- batched scheduling --- *)
+
+(* The contract: a schedule_batch block consumes sequence numbers
+   exactly like the equivalent loop of per-event schedules, so any mix
+   of batches and singles fires in an order bit-identical to the fully
+   per-event program. *)
+let test_engine_batch_equals_per_event () =
+  let rng = Netcore.Rng.create 31 in
+  (* A randomized program of singles and ascending-time batches. *)
+  let program =
+    List.init 40 (fun _ ->
+        if Netcore.Rng.bool rng then `Single (Netcore.Rng.float rng *. 100.0)
+        else begin
+          let n = 1 + Netcore.Rng.int rng 6 in
+          let start = Netcore.Rng.float rng *. 100.0 in
+          let times =
+            Array.make n start
+          in
+          for i = 1 to n - 1 do
+            times.(i) <- times.(i - 1) +. (Netcore.Rng.float rng *. 10.0)
+          done;
+          `Batch times
+        end)
+  in
+  let run ~batched =
+    let engine = Engine.create () in
+    let trace = ref [] in
+    let tag = ref 0 in
+    List.iter
+      (fun step ->
+        let k = !tag in
+        incr tag;
+        match step with
+        | `Single t ->
+          Engine.schedule engine ~delay:t (fun e ->
+              trace := (k, -1, Engine.now e) :: !trace)
+        | `Batch times ->
+          if batched then
+            ignore
+              (Engine.schedule_batch engine ~times (fun e i ->
+                   trace := (k, i, Engine.now e) :: !trace))
+          else
+            Array.iteri
+              (fun i t ->
+                Engine.schedule_at engine ~time:t (fun e ->
+                    trace := (k, i, Engine.now e) :: !trace))
+              times)
+      program;
+    Engine.run engine;
+    List.rev !trace
+  in
+  Alcotest.(check bool) "batched trace ≡ per-event trace" true
+    (run ~batched:true = run ~batched:false)
+
+let test_engine_batch_ties_interleave () =
+  (* Equal times across a batch, a single, and a second batch fire in
+     scheduling order, exactly as per-event scheduling would. *)
+  let engine = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule_batch engine ~times:[| 1.0; 1.0 |] (fun _ i ->
+         order := Printf.sprintf "a%d" i :: !order));
+  Engine.schedule engine ~delay:1.0 (fun _ -> order := "s" :: !order);
+  ignore
+    (Engine.schedule_batch engine ~times:[| 1.0 |] (fun _ i ->
+         order := Printf.sprintf "b%d" i :: !order));
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo across batches and singles"
+    [ "a0"; "a1"; "s"; "b0" ] (List.rev !order)
+
+let test_engine_batch_cancellation () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  let id0 =
+    Engine.schedule_batch engine ~times:[| 1.0; 2.0; 3.0; 4.0 |] (fun _ i ->
+        fired := i :: !fired)
+  in
+  (* Cancel the 2nd and 4th batch events by id = id0 + i, and a single
+     scheduled in between. *)
+  let sid = Engine.schedule_id engine ~delay:2.5 (fun _ -> fired := 99 :: !fired) in
+  Engine.cancel engine (id0 + 1);
+  Engine.cancel engine (id0 + 3);
+  Engine.cancel engine sid;
+  Engine.run engine;
+  Alcotest.(check (list int)) "only uncancelled batch events" [ 0; 2 ]
+    (List.rev !fired);
+  Alcotest.(check int) "executed counts cancelled deliveries" 5
+    (Engine.executed engine);
+  Alcotest.(check int) "batched_total" 4 (Engine.batched_total engine)
+
+let test_engine_batch_pending_and_run_until () =
+  let engine = Engine.create () in
+  ignore
+    (Engine.schedule_batch engine ~times:[| 1.0; 2.0; 10.0 |] (fun _ _ -> ()));
+  Engine.schedule engine ~delay:5.0 (fun _ -> ());
+  Alcotest.(check int) "pending counts batch events" 4 (Engine.pending engine);
+  Engine.run ~until:6.0 engine;
+  Alcotest.(check int) "late batch event still pending" 1 (Engine.pending engine);
+  Alcotest.(check (float 1e-9)) "clock clamped" 6.0 (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "drained" 0 (Engine.pending engine)
+
+let test_engine_batch_validation () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "descending times"
+    (Invalid_argument "Engine.schedule_batch: times not ascending") (fun () ->
+      ignore (Engine.schedule_batch engine ~times:[| 2.0; 1.0 |] (fun _ _ -> ())));
+  Engine.schedule engine ~delay:5.0 (fun _ -> ());
+  Engine.run engine;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_batch: time in the past") (fun () ->
+      ignore (Engine.schedule_batch engine ~times:[| 1.0 |] (fun _ _ -> ())));
+  (* Empty batches are a no-op and must not consume sequence numbers:
+     two ties scheduled around one still fire in order. *)
+  let order = ref [] in
+  Engine.schedule engine ~delay:1.0 (fun _ -> order := 1 :: !order);
+  ignore (Engine.schedule_batch engine ~times:[||] (fun _ _ -> ()));
+  Engine.schedule engine ~delay:1.0 (fun _ -> order := 2 :: !order);
+  Engine.run engine;
+  Alcotest.(check (list int)) "no-op empty batch" [ 1; 2 ] (List.rev !order)
+
 let test_engine_heap_stress () =
   let engine = Engine.create () in
   let rng = Netcore.Rng.create 99 in
@@ -148,6 +269,16 @@ let suites =
         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
         Alcotest.test_case "every" `Quick test_engine_every;
         Alcotest.test_case "heap stress" `Quick test_engine_heap_stress;
+        Alcotest.test_case "batch ≡ per-event" `Quick
+          test_engine_batch_equals_per_event;
+        Alcotest.test_case "batch fifo ties" `Quick
+          test_engine_batch_ties_interleave;
+        Alcotest.test_case "batch cancellation" `Quick
+          test_engine_batch_cancellation;
+        Alcotest.test_case "batch pending / run until" `Quick
+          test_engine_batch_pending_and_run_until;
+        Alcotest.test_case "batch validation" `Quick
+          test_engine_batch_validation;
       ] );
     ( "simcore.timeseries",
       [
